@@ -1,0 +1,45 @@
+"""Ablations of this reproduction's design decisions (DESIGN.md §5).
+
+Not a paper figure: these benches quantify the choices the paper leaves
+implicit — Algorithm 2's convergence test, the BnB optimality gap, and
+the background-channel assumptions the simulator adds.
+"""
+
+from repro.bench import extensions
+
+
+def test_ablation_convergence(benchmark, show):
+    result = benchmark.pedantic(extensions.ablation_convergence,
+                                rounds=1, iterations=1)
+    show(result)
+    scores = result.data["scores"]
+    for name, per in scores.items():
+        # the size-based stop (paper, line 5) never trails score-based by
+        # more than a whisker on these workloads
+        assert per["size"] >= per["score"] * 0.97, name
+
+
+def test_ablation_tolerance(benchmark, show):
+    result = benchmark.pedantic(extensions.ablation_tolerance,
+                                rounds=1, iterations=1)
+    show(result)
+    scores = result.data["scores"]
+    for name, per in scores.items():
+        # the 1 % gap costs at most ~2 % of the exact flagged score
+        assert per["1% gap"] >= per["exact"] * 0.98, name
+        assert per["1% gap"] <= per["exact"] * 1.0 + 1e-6, name
+
+
+def test_sensitivity_background(benchmark, show):
+    result = benchmark.pedantic(extensions.sensitivity_background,
+                                rounds=1, iterations=1)
+    show(result)
+    speedups = result.data["speedups"]
+    # S/C keeps a solid win under every assumption ...
+    for label, speedup in speedups.items():
+        assert speedup > 1.15, label
+    # ... and the ranking is physically sensible
+    assert speedups["interference 0%"] >= \
+        speedups["interference 10%"] - 1e-9
+    assert speedups["parallelism 4x"] >= \
+        speedups["parallelism 1x"] - 1e-9

@@ -1,0 +1,46 @@
+"""Extension experiments: workload drift and IVM composition.
+
+Forward-looking claims the paper makes in prose (§I adaptability, §VII
+IVM compatibility), exercised quantitatively on this reproduction's
+substrates.
+"""
+
+from repro.bench import extensions
+
+
+def test_adaptive_drift(benchmark, show):
+    result = benchmark.pedantic(extensions.adaptive_drift,
+                                rounds=1, iterations=1)
+    show(result)
+    times = result.data["times"]
+
+    # no drift: nothing to adapt to, no re-plans, all three coincide
+    no_drift = times[1.0]
+    assert no_drift["replans"] == 0
+    assert no_drift["adaptive"] <= no_drift["stale"] * 1.02
+
+    # shrink drift (0.5x): the stale plan under-flags; adaptation recovers
+    # a real fraction of the oracle's advantage
+    shrink = times[0.5]
+    assert shrink["adaptive"] < shrink["stale"]
+    assert shrink["oracle"] <= shrink["adaptive"] + 1e-9
+
+    # any drift: adaptive never meaningfully worse than stale
+    for factor, row in times.items():
+        assert row["adaptive"] <= row["stale"] * 1.10, factor
+        assert row["oracle"] <= row["stale"] * 1.02 + 1e-9, factor
+
+
+def test_ivm_integration(benchmark, show):
+    result = benchmark.pedantic(extensions.ivm_integration,
+                                rounds=1, iterations=1)
+    show(result)
+    totals = result.data["totals"]
+
+    # each technique helps alone ...
+    assert totals["full/S-C"] < totals["full/no-opt"]
+    assert totals["ivm/no-opt"] < totals["full/no-opt"]
+    # ... S/C still speeds up the incremental workload ...
+    assert totals["ivm/S-C"] < totals["ivm/no-opt"]
+    # ... and the composition beats everything else
+    assert totals["ivm/S-C"] == min(totals.values())

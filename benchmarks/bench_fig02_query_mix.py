@@ -1,0 +1,18 @@
+"""Figure 2 — runtime breakdown by query type for ten warehouses.
+
+Paper claim: data materialization (transformation) accounts for 2-38 % of
+warehouse runtime, and in one workload (W6) exceeds analytics by 2.2x.
+"""
+
+from repro.bench import experiments
+
+
+def test_fig2_query_type_breakdown(benchmark, show):
+    result = benchmark.pedantic(experiments.fig2_query_type_breakdown,
+                                rounds=1, iterations=1)
+    show(result)
+    shares = result.data["transformation_shares"]
+    assert len(shares) == 10
+    assert all(0.02 <= share <= 0.38 for share in shares.values())
+    # the motivating observation: materialization is a significant cost
+    assert max(shares.values()) > 0.2

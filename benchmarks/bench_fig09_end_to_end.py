@@ -1,0 +1,43 @@
+"""Figure 9 — end-to-end refresh times: six methods x five workloads.
+
+Paper claims: S/C speeds up end-to-end refresh vs the unoptimized engine
+on every I/O-heavy workload, beats the off-the-shelf methods (LRU/Random/
+Greedy/Ratio), gains more on the date-partitioned datasets (smaller
+intermediates), and is neutral on the compute-bound workload.
+"""
+
+from repro.bench import experiments
+from repro.workloads.five_workloads import WORKLOAD_NAMES
+
+
+def test_fig9_end_to_end(benchmark, show):
+    result = benchmark.pedantic(experiments.fig9_end_to_end,
+                                rounds=1, iterations=1)
+    show(result)
+    times = result.data["times"]
+
+    for (dataset, workload), series in times.items():
+        # S/C never loses to any competitor (small tolerance for ties)
+        best_other = min(series[m] for m in
+                         ("lru", "random", "greedy", "ratio"))
+        assert series["sc"] <= best_other * 1.01, (dataset, workload)
+        assert series["sc"] <= series["none"] * 1.0001
+
+    # clear wins on the I/O-heavy workloads of both datasets
+    for dataset in ("TPC-DS", "TPC-DSp"):
+        for workload in ("io1", "io2", "io3"):
+            series = times[(dataset, workload)]
+            assert series["none"] / series["sc"] > 1.10, (dataset, workload)
+
+    # bigger wins on the partitioned datasets (paper: up to 5.08x there)
+    for workload in ("io1", "io2", "io3"):
+        ds = times[("TPC-DS", workload)]
+        dsp = times[("TPC-DSp", workload)]
+        assert dsp["none"] / dsp["sc"] > ds["none"] / ds["sc"], workload
+
+    # compute-bound workload barely moves (paper: ~1.0x on Compute 1)
+    for dataset in ("TPC-DS", "TPC-DSp"):
+        series = times[(dataset, "compute1")]
+        assert series["none"] / series["sc"] < 1.10
+
+    assert set(w for _, w in times) == set(WORKLOAD_NAMES)

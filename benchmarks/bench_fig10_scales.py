@@ -1,0 +1,30 @@
+"""Figure 10 — speedup across dataset scales (10 GB to 1 TB).
+
+Paper claim: with the Memory Catalog fixed at 1.6 % of data size, S/C's
+speedup is consistent across scales — 1.58-1.71x on TPC-DS and
+2.31-4.26x on TPC-DSp (always larger on the partitioned datasets).
+"""
+
+from repro.bench import experiments
+
+
+def test_fig10_scales(benchmark, show):
+    result = benchmark.pedantic(
+        experiments.fig10_scales,
+        kwargs={"scales_gb": (10, 25, 50, 100, 1000)},
+        rounds=1, iterations=1)
+    show(result)
+    speedups = result.data["speedups"]
+
+    ds = [v for (dataset, _), v in speedups.items() if dataset == "TPC-DS"]
+    dsp = [v for (dataset, _), v in speedups.items()
+           if dataset == "TPC-DSp"]
+
+    # consistent: the spread across scales stays narrow on each dataset
+    assert max(ds) / min(ds) < 1.5, ds
+    assert max(dsp) / min(dsp) < 1.5, dsp
+    # everyone gains, and the partitioned variant gains more at each scale
+    assert min(ds) > 1.05
+    for (dataset, scale), value in speedups.items():
+        if dataset == "TPC-DS":
+            assert speedups[("TPC-DSp", scale)] > value, scale

@@ -1,0 +1,30 @@
+"""Figure 12 — ablation: swap each S/C Opt subproblem solution for a
+baseline inside the alternating loop.
+
+Paper claims: MKP + MA-DFS (ours) beats every ablated combination —
+Greedy/Random/Ratio selection paired with MA-DFS, and MKP paired with
+SA or Separator ordering — saving an additional 3-11 % of execution time.
+"""
+
+from repro.bench import experiments
+
+
+def test_fig12_ablation(benchmark, show):
+    result = benchmark.pedantic(experiments.fig12_ablation,
+                                rounds=1, iterations=1)
+    show(result)
+    totals = result.data["totals"]
+    for dataset in ("TPC-DS", "TPC-DSp"):
+        ours = totals[(dataset, "mkp+madfs")]
+        none = totals[(dataset, "none")]
+        assert ours < none, dataset
+        for method in ("random+madfs", "greedy+madfs", "ratio+madfs",
+                       "mkp+sa", "mkp+separator"):
+            # ours is at least as good as every ablation (ties allowed)
+            assert ours <= totals[(dataset, method)] * 1.01, \
+                (dataset, method)
+        # and strictly better than at least one of them
+        assert any(ours < totals[(dataset, m)] * 0.999
+                   for m in ("random+madfs", "greedy+madfs",
+                             "ratio+madfs", "mkp+sa", "mkp+separator")), \
+            dataset

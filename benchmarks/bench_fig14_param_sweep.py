@@ -1,0 +1,30 @@
+"""Figure 14 — DAG-shape parameter sweeps vs predicted savings.
+
+Paper claims: predicted savings correlate strongly with DAG size (but
+sub-proportionally — nested MVs shrink); "thinner" DAGs (higher
+height/width ratio) save more; higher max out-degree saves more (each
+flagged node serves more consumers); stage-count variance barely matters.
+"""
+
+from repro.bench import experiments
+
+
+def test_fig14_parameter_sweep(benchmark, show):
+    result = benchmark.pedantic(experiments.fig14_parameter_sweep,
+                                kwargs={"n_dags": 6},
+                                rounds=1, iterations=1)
+    show(result)
+    norm = result.data["normalized"]
+
+    # savings grow strongly from small DAGs (paper: highly correlated with
+    # size, sub-proportionally; 50 vs 100 sits inside generator noise)
+    assert norm[("DAG size", "25")] < norm[("DAG size", "50")]
+    assert norm[("DAG size", "25")] < norm[("DAG size", "100")]
+
+    # higher out-degree -> more consumers per flagged node -> more savings
+    assert norm[("max outdegree", "1")] < norm[("max outdegree", "5")]
+
+    # stage-count variance has only a mild effect (paper: negligible)
+    stdev_values = [norm[("stage StDev", f"{v:g}")]
+                    for v in (0.0, 1.0, 2.0, 3.0, 4.0)]
+    assert max(stdev_values) / min(stdev_values) < 1.6, stdev_values

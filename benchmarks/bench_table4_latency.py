@@ -1,0 +1,28 @@
+"""Table IV — table-read / compute / query latency vs Memory Catalog size.
+
+Paper claims: growing the catalog monotonically shrinks total table-read
+latency (1.42-1.51x lower at 6.4 %), while compute latency is essentially
+untouched — reads, not compute, are what S/C optimizes.
+"""
+
+from repro.bench import experiments
+
+
+def test_table4_latency_breakdown(benchmark, show):
+    result = benchmark.pedantic(experiments.table4_latency_breakdown,
+                                rounds=1, iterations=1)
+    show(result)
+    for dataset, columns in result.data["columns"].items():
+        reads = [col[0] for col in columns]    # [no-opt, 0.4%, ..., 6.4%]
+        computes = [col[1] for col in columns]
+
+        # read latency shrinks as the catalog grows
+        for smaller, larger in zip(reads[1:], reads[2:]):
+            assert larger <= smaller * 1.02, (dataset, reads)
+        assert reads[-1] < reads[0], dataset
+        # the largest catalog cuts reads by a meaningful factor
+        assert reads[0] / reads[-1] > 1.2, (dataset, reads)
+        # compute is not the target: stays within a few percent
+        base_compute = computes[0]
+        for value in computes[1:]:
+            assert abs(value - base_compute) / base_compute < 0.05, dataset

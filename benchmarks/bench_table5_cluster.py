@@ -1,0 +1,28 @@
+"""Table V — S/C on multi-worker clusters.
+
+Paper claims: absolute runtimes drop sub-linearly with worker count
+(1528 s at 1 worker to 487 s at 5), while S/C's relative speedup stays
+flat (1.60-1.71x) — the optimization is orthogonal to horizontal scaling.
+"""
+
+from repro.bench import experiments
+
+
+def test_table5_cluster_scaling(benchmark, show):
+    result = benchmark.pedantic(experiments.table5_cluster_scaling,
+                                rounds=1, iterations=1)
+    show(result)
+    totals = result.data["totals"]
+    workers = sorted(totals)
+
+    no_opt = [totals[w][0] for w in workers]
+    speedups = [totals[w][0] / totals[w][1] for w in workers]
+
+    # runtimes drop with cluster size, sub-linearly
+    for before, after in zip(no_opt, no_opt[1:]):
+        assert after < before
+    assert no_opt[0] / no_opt[-1] < len(workers)  # sub-linear
+
+    # S/C's speedup is flat across cluster sizes
+    assert max(speedups) - min(speedups) < 0.15, speedups
+    assert min(speedups) > 1.05

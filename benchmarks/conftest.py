@@ -1,0 +1,25 @@
+"""Shared configuration for the benchmark suite.
+
+Each ``bench_*.py`` file regenerates one table or figure from the paper's
+evaluation section (see DESIGN.md's experiment index). Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Benchmarks print their reproduction table (use ``-s`` to see them inline)
+and assert the paper's qualitative claims — who wins, and roughly where —
+rather than absolute numbers, since the substrate is a simulator rather
+than the authors' Presto testbed.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a report table so it survives pytest's capture."""
+    def _show(result) -> None:
+        with capsys.disabled():
+            print()
+            print(result.render())
+
+    return _show

@@ -1,0 +1,51 @@
+"""Capacity planning: how much Memory Catalog does a workload deserve?
+
+Sweeps the Memory Catalog size for each of the paper's five workloads
+(Figure 11's axis) and prints the speedup curve plus the knee point — the
+smallest catalog capturing most of the achievable gain. This is the
+question a warehouse admin would actually ask before carving memory out of
+a cluster.
+
+Run:  python examples/memory_planning.py
+"""
+
+from repro.engine import Controller
+from repro.metadata import DeviceProfile
+from repro.workloads import WORKLOAD_NAMES, build_five_workloads
+
+FRACTIONS = (0.002, 0.004, 0.008, 0.016, 0.032, 0.064)
+SCALE_GB = 100.0
+
+
+def main() -> None:
+    controller = Controller(profile=DeviceProfile())
+    workloads = build_five_workloads(scale_gb=SCALE_GB, partitioned=True)
+
+    header = "workload   " + "".join(f"{100 * f:7.1f}%" for f in FRACTIONS)
+    print(f"S/C speedup vs Memory Catalog size ({SCALE_GB:g} GB TPC-DSp)")
+    print(header)
+    print("-" * len(header))
+
+    for name in WORKLOAD_NAMES:
+        graph = workloads[name]
+        base = controller.refresh(graph, 0.0, method="none")
+        speedups = []
+        for fraction in FRACTIONS:
+            budget = fraction * SCALE_GB
+            trace = controller.refresh(graph, budget, method="sc")
+            speedups.append(base.end_to_end_time / trace.end_to_end_time)
+        cells = "".join(f"{s:7.2f}x" for s in speedups)
+        print(f"{name:10s} {cells}")
+
+        best = max(speedups)
+        knee = next(
+            (f for f, s in zip(FRACTIONS, speedups)
+             if s >= 1.0 + 0.9 * (best - 1.0)),
+            FRACTIONS[-1])
+        print(f"{'':10s} -> 90% of the gain at "
+              f"{100 * knee:.1f}% of data size "
+              f"({knee * SCALE_GB:.1f} GB)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Benchmark harness: one driver per paper figure/table.
+
+Each driver in :mod:`repro.bench.experiments` regenerates the rows/series
+of one artifact from the paper's evaluation (§VI) and returns plain data;
+:mod:`repro.bench.report` renders aligned text tables. The ``benchmarks/``
+directory wires each driver into pytest-benchmark.
+"""
+
+from repro.bench.methods import FIGURE9_METHODS, FIGURE12_METHODS, run_method
+from repro.bench.report import format_table
+from repro.bench import experiments
+
+__all__ = [
+    "FIGURE9_METHODS",
+    "FIGURE12_METHODS",
+    "run_method",
+    "format_table",
+    "experiments",
+]

@@ -1,0 +1,512 @@
+"""Experiment drivers — one per table/figure of the paper's evaluation.
+
+Every driver returns an :class:`ExperimentResult` whose ``rows`` regenerate
+the corresponding artifact. Drivers take size knobs (number of DAGs,
+scales) so the pytest-benchmark wrappers stay fast by default while the
+paper-scale sweep remains one argument away.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.methods import (
+    FIGURE9_METHODS,
+    FIGURE12_METHODS,
+    run_method,
+)
+from repro.bench.report import format_table
+from repro.core.optimizer import optimize
+from repro.core.problem import ScProblem
+from repro.engine.cluster import simulate_cluster_run
+from repro.engine.simulator import SimulatorOptions
+from repro.metadata.costmodel import (
+    ClusterProfile,
+    DeviceProfile,
+    POLARS_PROFILE,
+)
+from repro.workloads.calibrate import measured_io_share
+from repro.workloads.five_workloads import (
+    WORKLOAD_NAMES,
+    WORKLOAD_SUMMARY,
+    build_five_workloads,
+    build_workload,
+)
+from repro.workloads.generator import (
+    GeneratedWorkloadConfig,
+    WorkloadGenerator,
+)
+
+
+@dataclass
+class ExperimentResult:
+    """Rendered rows plus free-form raw data for programmatic checks."""
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    data: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        return format_table(self.headers, self.rows,
+                            title=f"[{self.experiment_id}] {self.title}")
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — runtime breakdown by query type across ten warehouses
+# ----------------------------------------------------------------------
+def fig2_query_type_breakdown(seed: int = 7) -> ExperimentResult:
+    """Synthetic reproduction of the warehouse-fleet characterization.
+
+    The original data comes from a proprietary fleet analysis [35]; we
+    regenerate workloads whose *transformation* (data materialization)
+    share spans the reported 2-38 % range, with analytics dominating the
+    rest — the motivating shape: materialization is a significant,
+    sometimes dominant, cost.
+    """
+    rng = random.Random(seed)
+    rows = []
+    shares = {}
+    for idx in range(1, 11):
+        transformation = rng.uniform(0.02, 0.38)
+        if idx == 6:  # the paper highlights W6: 2.2x analytics time
+            analytics = transformation / 2.2
+        else:
+            analytics = rng.uniform(0.25, 0.7) * (1 - transformation)
+        insert = rng.uniform(0.05, 0.25) * (1 - transformation - analytics)
+        other = max(0.0, 1.0 - transformation - analytics - insert)
+        shares[f"W{idx}"] = transformation
+        rows.append([f"W{idx}", 100 * transformation, 100 * analytics,
+                     100 * insert, 100 * other])
+    return ExperimentResult(
+        experiment_id="fig2",
+        title="Runtime share by query type (10 synthetic warehouses, %)",
+        headers=["workload", "transformation", "analytics", "insert",
+                 "others"],
+        rows=rows,
+        data={"transformation_shares": shares},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — read/compute/write breakdown of a 4-table join CTAS
+# ----------------------------------------------------------------------
+def fig3_io_breakdown(scales_gb: tuple[float, ...] = (0.01, 0.02, 0.05),
+                      seed: int = 0) -> ExperimentResult:
+    """Real MiniDB timing of the TPC-H Q8 join at increasing scales."""
+    import shutil
+    import tempfile
+
+    from repro.db.engine import MiniDB
+    from repro.workloads.tpch import TPCH_Q8_JOIN_SQL, load_tpch
+
+    rows = []
+    raw = {}
+    for scale in scales_gb:
+        tmp = tempfile.mkdtemp(prefix="repro_fig3_")
+        try:
+            db = MiniDB(tmp)
+            load_tpch(db, scale_gb=scale, seed=seed)
+            timing = db.ctas("q8_result", TPCH_Q8_JOIN_SQL)
+            total = timing.total_seconds
+            rows.append([
+                f"{scale:g} GB ({total:.2f}s)",
+                100 * timing.read_seconds / total,
+                100 * timing.compute_seconds / total,
+                100 * timing.write_seconds / total,
+            ])
+            raw[scale] = timing
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="Q8 4-table join CTAS: runtime share by operation (%)",
+        headers=["scale (total time)", "read", "compute", "write"],
+        rows=rows,
+        data={"timings": raw},
+    )
+
+
+# ----------------------------------------------------------------------
+# Table III — workload summary
+# ----------------------------------------------------------------------
+def table3_workload_summary() -> ExperimentResult:
+    rows = []
+    for name in WORKLOAD_NAMES:
+        queries, n_nodes, io_share = WORKLOAD_SUMMARY[name]
+        graph = build_workload(name, scale_gb=100.0)
+        measured = measured_io_share(graph, POLARS_PROFILE)
+        rows.append([
+            name,
+            ", ".join(str(q) for q in queries),
+            graph.n,
+            100 * io_share,
+            100 * measured,
+        ])
+        assert graph.n == n_nodes
+    return ExperimentResult(
+        experiment_id="table3",
+        title="Workload summary (paper Table III)",
+        headers=["workload", "TPC-DS queries", "# nodes",
+                 "paper I/O %", "measured I/O %"],
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — end-to-end refresh times, six methods, both datasets
+# ----------------------------------------------------------------------
+def fig9_end_to_end(scale_gb: float = 100.0, seed: int = 2,
+                    ) -> ExperimentResult:
+    profile = DeviceProfile()
+    rows = []
+    raw: dict = {}
+    for partitioned, budget in ((False, 0.016 * scale_gb),
+                                (True, 0.008 * scale_gb)):
+        dataset = "TPC-DSp" if partitioned else "TPC-DS"
+        graphs = build_five_workloads(scale_gb=scale_gb,
+                                      partitioned=partitioned)
+        for workload in WORKLOAD_NAMES:
+            graph = graphs[workload]
+            times = {}
+            for method, _ in FIGURE9_METHODS:
+                trace = run_method(graph, budget, method,
+                                   profile=profile, seed=seed)
+                times[method] = trace.end_to_end_time
+            raw[(dataset, workload)] = times
+            base = times["none"]
+            rows.append([
+                f"{dataset}/{workload}",
+                *(times[m] for m, _ in FIGURE9_METHODS),
+                base / times["sc"],
+            ])
+    return ExperimentResult(
+        experiment_id="fig9",
+        title=(f"End-to-end MV refresh time (s), {scale_gb:g}GB datasets; "
+               "last column = S/C speedup"),
+        headers=["dataset/workload",
+                 *(label for _, label in FIGURE9_METHODS), "S/C speedup"],
+        rows=rows,
+        data={"times": raw},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 10 — speedup across dataset scales
+# ----------------------------------------------------------------------
+def fig10_scales(scales_gb: tuple[float, ...] = (10, 25, 50, 100, 1000),
+                 seed: int = 2) -> ExperimentResult:
+    profile = DeviceProfile()
+    rows = []
+    raw: dict = {}
+    for partitioned in (False, True):
+        dataset = "TPC-DSp" if partitioned else "TPC-DS"
+        for scale in scales_gb:
+            budget = 0.016 * scale
+            graphs = build_five_workloads(scale_gb=scale,
+                                          partitioned=partitioned)
+            total_none = 0.0
+            total_sc = 0.0
+            for graph in graphs.values():
+                total_none += run_method(graph, budget, "none",
+                                         profile=profile,
+                                         seed=seed).end_to_end_time
+                total_sc += run_method(graph, budget, "sc",
+                                       profile=profile,
+                                       seed=seed).end_to_end_time
+            speedup = total_none / total_sc
+            raw[(dataset, scale)] = speedup
+            rows.append([dataset, f"{scale:g}", total_none, total_sc,
+                         speedup])
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="S/C speedup vs dataset scale (Memory Catalog = 1.6% of "
+              "data)",
+        headers=["dataset", "scale (GB)", "no-opt total (s)",
+                 "S/C total (s)", "speedup"],
+        rows=rows,
+        data={"speedups": raw},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 11 — Memory Catalog size sweep, spare vs query memory
+# ----------------------------------------------------------------------
+def fig11_memory_sweep(scale_gb: float = 100.0,
+                       fractions: tuple[float, ...] = (
+                           0.004, 0.008, 0.016, 0.032, 0.064),
+                       query_memory_gb: float = 50.0,
+                       seed: int = 2) -> ExperimentResult:
+    """Speedup vs catalog size on TPC-DSp, from spare vs query memory.
+
+    Carving the catalog out of query memory slows operators in proportion
+    to the memory taken (the paper reports only up to a 0.25x speedup
+    loss, i.e. the penalty is mild).
+    """
+    profile = DeviceProfile()
+    graphs = build_five_workloads(scale_gb=scale_gb, partitioned=True)
+    rows = []
+    raw: dict = {}
+    for fraction in fractions:
+        budget = fraction * scale_gb
+        speedups = {}
+        for source in ("spare", "query"):
+            penalty = (budget / query_memory_gb if source == "query"
+                       else 0.0)
+            options = SimulatorOptions(compute_penalty=penalty)
+            total_none = 0.0
+            total_sc = 0.0
+            for graph in graphs.values():
+                controller_kwargs = dict(profile=profile, seed=seed,
+                                         options=options)
+                total_none += run_method(graph, budget, "none",
+                                         **controller_kwargs
+                                         ).end_to_end_time
+                total_sc += run_method(graph, budget, "sc",
+                                       **controller_kwargs
+                                       ).end_to_end_time
+            speedups[source] = total_none / total_sc
+        raw[fraction] = speedups
+        rows.append([f"{100 * fraction:.1f}%", speedups["spare"],
+                     speedups["query"]])
+    return ExperimentResult(
+        experiment_id="fig11",
+        title=f"S/C speedup vs Memory Catalog size ({scale_gb:g}GB "
+              "TPC-DSp)",
+        headers=["memory (% of data)", "from spare memory",
+                 "from query memory"],
+        rows=rows,
+        data={"speedups": raw},
+    )
+
+
+# ----------------------------------------------------------------------
+# Table IV — latency breakdown vs Memory Catalog size
+# ----------------------------------------------------------------------
+def table4_latency_breakdown(scale_gb: float = 100.0,
+                             fractions: tuple[float, ...] = (
+                                 0.004, 0.008, 0.016, 0.032, 0.064),
+                             seed: int = 2) -> ExperimentResult:
+    profile = DeviceProfile()
+    rows = []
+    raw: dict = {}
+    for partitioned in (False, True):
+        dataset = "TPC-DSp" if partitioned else "TPC-DS"
+        graphs = build_five_workloads(scale_gb=scale_gb,
+                                      partitioned=partitioned)
+
+        def totals(method: str, budget: float) -> tuple[float, float,
+                                                         float]:
+            read = compute = query = 0.0
+            for graph in graphs.values():
+                trace = run_method(graph, budget, method, profile=profile,
+                                   seed=seed)
+                read += trace.table_read_latency
+                compute += trace.compute_latency
+                query += trace.query_latency
+            return read, compute, query
+
+        columns = [totals("none", 0.0)]
+        for fraction in fractions:
+            columns.append(totals("sc", fraction * scale_gb))
+        raw[dataset] = columns
+        labels = ["No opt"] + [f"{100 * f:.1f}%" for f in fractions]
+        for metric_idx, metric in enumerate(("Table read", "Compute",
+                                             "Query")):
+            rows.append([f"{dataset} {metric}",
+                         *(col[metric_idx] for col in columns)])
+    fractions_header = ["No opt"] + [f"{100 * f:.1f}%" for f in fractions]
+    return ExperimentResult(
+        experiment_id="table4",
+        title=f"Latency breakdown (s) vs Memory Catalog size, "
+              f"{scale_gb:g}GB datasets",
+        headers=["dataset metric", *fractions_header],
+        rows=rows,
+        data={"columns": raw},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 12 — ablation of the two subproblem solutions
+# ----------------------------------------------------------------------
+def fig12_ablation(scale_gb: float = 100.0, seed: int = 2,
+                   ) -> ExperimentResult:
+    profile = DeviceProfile()
+    rows = []
+    raw: dict = {}
+    for partitioned, fraction in ((False, 0.016), (True, 0.008)):
+        dataset = "TPC-DSp" if partitioned else "TPC-DS"
+        budget = fraction * scale_gb
+        graphs = build_five_workloads(scale_gb=scale_gb,
+                                      partitioned=partitioned)
+        for method, label in FIGURE12_METHODS:
+            total = 0.0
+            for graph in graphs.values():
+                total += run_method(graph, budget, method, profile=profile,
+                                    seed=seed).end_to_end_time
+            raw[(dataset, method)] = total
+            rows.append([f"{dataset} {label}", total])
+    for partitioned in (False, True):
+        dataset = "TPC-DSp" if partitioned else "TPC-DS"
+        ours = raw[(dataset, "mkp+madfs")]
+        for method, label in FIGURE12_METHODS:
+            if method not in ("none", "mkp+madfs"):
+                raw[(dataset, f"gain_vs_{method}")] = \
+                    raw[(dataset, method)] / ours
+    return ExperimentResult(
+        experiment_id="fig12",
+        title=f"Ablation: total refresh time of 5 workloads (s), "
+              f"{scale_gb:g}GB",
+        headers=["dataset method", "total time (s)"],
+        rows=rows,
+        data={"totals": raw},
+    )
+
+
+# ----------------------------------------------------------------------
+# Table V — cluster scaling
+# ----------------------------------------------------------------------
+def table5_cluster_scaling(scale_gb: float = 100.0,
+                           worker_counts: tuple[int, ...] = (1, 2, 3, 4, 5),
+                           seed: int = 2) -> ExperimentResult:
+    graphs = build_five_workloads(scale_gb=scale_gb, partitioned=False)
+    budget = 0.016 * scale_gb
+    rows = []
+    raw: dict = {}
+    no_opt_row: list = ["No opt runtime (s)"]
+    sc_row: list = ["S/C runtime (s)"]
+    speedup_row: list = ["Speedup"]
+    for workers in worker_counts:
+        cluster = ClusterProfile(worker_count=workers)
+        total_none = 0.0
+        total_sc = 0.0
+        for graph in graphs.values():
+            problem = ScProblem(graph=graph, memory_budget=budget)
+            plan_none = optimize(problem, method="none").plan
+            plan_sc = optimize(problem, method="sc", seed=seed).plan
+            total_none += simulate_cluster_run(
+                graph, plan_none, budget, cluster).end_to_end_time
+            total_sc += simulate_cluster_run(
+                graph, plan_sc, budget, cluster).end_to_end_time
+        raw[workers] = (total_none, total_sc)
+        no_opt_row.append(total_none)
+        sc_row.append(total_sc)
+        speedup_row.append(total_none / total_sc)
+    return ExperimentResult(
+        experiment_id="table5",
+        title=f"Cluster scaling, {scale_gb:g}GB TPC-DS, 1.6% Memory "
+              "Catalog",
+        headers=["metric", *(f"{w} node(s)" for w in worker_counts)],
+        rows=[no_opt_row, sc_row, speedup_row],
+        data={"totals": raw},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 13 — optimization time vs DAG size
+# ----------------------------------------------------------------------
+def fig13_optimization_time(dag_sizes: tuple[int, ...] = (10, 25, 50, 100),
+                            n_dags: int = 5, seed: int = 0,
+                            ) -> ExperimentResult:
+    """Wall-clock optimizer time per method (mean over generated DAGs).
+
+    The paper generates 1000 DAGs per setting with OR-Tools' C++ solver
+    reaching 0.02 s at 100 nodes; our pure-Python solver is slower in
+    absolute terms — the claims to check are the *scaling shape* (roughly
+    linear in DAG size) and the method ranking (scan baselines fastest,
+    SA/Separator slowest).
+    """
+    generator = WorkloadGenerator()
+    methods = [m for m, _ in FIGURE12_METHODS if m != "none"]
+    rows = []
+    raw: dict = {}
+    for size in dag_sizes:
+        graphs = []
+        for i in range(n_dags):
+            config = GeneratedWorkloadConfig(n_nodes=size)
+            graphs.append(generator.generate(config, seed=seed + i))
+        per_method = {}
+        for method in methods:
+            elapsed = 0.0
+            for graph in graphs:
+                problem = ScProblem(
+                    graph=graph, memory_budget=0.016 * graph.total_size())
+                started = time.perf_counter()
+                optimize(problem, method=method, seed=seed)
+                elapsed += time.perf_counter() - started
+            per_method[method] = elapsed / len(graphs)
+        raw[size] = per_method
+        rows.append([str(size),
+                     *(1000 * per_method[m] for m in methods)])
+    return ExperimentResult(
+        experiment_id="fig13",
+        title=f"Optimization time (ms), mean of {n_dags} DAGs per size",
+        headers=["DAG size", *methods],
+        rows=rows,
+        data={"times": raw},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 14 — DAG-shape parameter sweeps vs predicted savings
+# ----------------------------------------------------------------------
+def fig14_parameter_sweep(n_dags: int = 10, seed: int = 0,
+                          ) -> ExperimentResult:
+    """Normalized predicted savings across the four generation axes.
+
+    Savings = total speedup score of the flagged set found by S/C divided
+    by the DAG's total size (leaf sizes are sampled from the heavy-tailed
+    TPC-DS census, so per-DAG normalization removes scale noise that would
+    otherwise need the paper's 1000-DAG samples to average out), normalized
+    to the reference configuration (100 nodes, ratio 1, out-degree 4,
+    StDev 1 — the black-marked parameters of Figure 13).
+    """
+    generator = WorkloadGenerator()
+
+    def mean_savings(config: GeneratedWorkloadConfig) -> float:
+        total = 0.0
+        for i in range(n_dags):
+            graph = generator.generate(config, seed=seed + i)
+            problem = ScProblem(graph=graph,
+                                memory_budget=0.016 * graph.total_size())
+            total += (optimize(problem, method="sc").total_score
+                      / graph.total_size())
+        return total / n_dags
+
+    reference = mean_savings(GeneratedWorkloadConfig(n_nodes=100))
+    rows = []
+    raw: dict = {}
+
+    sweeps: list[tuple[str, str, list, GeneratedWorkloadConfig]] = []
+    for value in (25, 50, 100):
+        sweeps.append(("DAG size", str(value), [],
+                       GeneratedWorkloadConfig(n_nodes=value)))
+    for value in (4.0, 2.0, 1.0, 0.5, 0.25):
+        sweeps.append(("height/width", f"{value:g}", [],
+                       GeneratedWorkloadConfig(
+                           n_nodes=100, height_width_ratio=value)))
+    for value in (1, 2, 3, 4, 5):
+        sweeps.append(("max outdegree", str(value), [],
+                       GeneratedWorkloadConfig(
+                           n_nodes=100, max_outdegree=value)))
+    for value in (0.0, 1.0, 2.0, 3.0, 4.0):
+        sweeps.append(("stage StDev", f"{value:g}", [],
+                       GeneratedWorkloadConfig(
+                           n_nodes=100, stage_stdev=value)))
+
+    for axis, label, _, config in sweeps:
+        normalized = mean_savings(config) / reference
+        raw[(axis, label)] = normalized
+        rows.append([axis, label, normalized])
+
+    return ExperimentResult(
+        experiment_id="fig14",
+        title=f"Normalized predicted savings vs DAG shape "
+              f"(mean of {n_dags} DAGs; 1.0 = reference config)",
+        headers=["axis", "value", "normalized savings"],
+        rows=rows,
+        data={"normalized": raw},
+    )

@@ -1,0 +1,45 @@
+"""Plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str | None = None) -> str:
+    """Aligned monospace table (first column left, the rest right)."""
+    rendered = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = [cells[0].ljust(widths[0])]
+        parts += [cell.rjust(width)
+                  for cell, width in zip(cells[1:], widths[1:])]
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def format_speedup(value: float) -> str:
+    return f"{value:.2f}x"

@@ -1,0 +1,206 @@
+"""Command-line interface: ``repro-sc <subcommand>``.
+
+Subcommands:
+
+* ``optimize`` — read a dependency-graph JSON, write/print the S/C plan.
+* ``simulate`` — run a plan (or optimize first) through the refresh
+  simulator and print the timing summary + Gantt chart.
+* ``workload`` — emit one of the paper's five workloads as graph JSON.
+* ``bench`` — run one experiment driver (fig2..fig14, table3..table5).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench import experiments
+from repro.core.optimizer import OPTIMIZER_METHODS, optimize, plan_summary
+from repro.core.plan import Plan
+from repro.core.problem import ScProblem
+from repro.engine.controller import Controller
+from repro.graph.io import graph_from_json, graph_to_json
+from repro.workloads.five_workloads import WORKLOAD_NAMES, build_workload
+
+_EXPERIMENTS = {
+    "fig2": experiments.fig2_query_type_breakdown,
+    "fig3": experiments.fig3_io_breakdown,
+    "table3": experiments.table3_workload_summary,
+    "fig9": experiments.fig9_end_to_end,
+    "fig10": experiments.fig10_scales,
+    "fig11": experiments.fig11_memory_sweep,
+    "table4": experiments.table4_latency_breakdown,
+    "fig12": experiments.fig12_ablation,
+    "table5": experiments.table5_cluster_scaling,
+    "fig13": experiments.fig13_optimization_time,
+    "fig14": experiments.fig14_parameter_sweep,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sc",
+        description="S/C: speeding up data materialization with bounded "
+                    "memory (ICDE 2023 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_opt = sub.add_parser("optimize", help="compute a refresh plan")
+    p_opt.add_argument("graph", help="path to dependency-graph JSON")
+    p_opt.add_argument("--memory", type=float, required=True,
+                       help="Memory Catalog size (same unit as sizes)")
+    p_opt.add_argument("--method", default="sc",
+                       choices=sorted(OPTIMIZER_METHODS))
+    p_opt.add_argument("--seed", type=int, default=0)
+    p_opt.add_argument("--output", help="write plan JSON here "
+                                        "(default: stdout)")
+
+    p_sim = sub.add_parser("simulate", help="simulate a refresh run")
+    p_sim.add_argument("graph", help="path to dependency-graph JSON")
+    p_sim.add_argument("--memory", type=float, required=True)
+    p_sim.add_argument("--method", default="sc",
+                       choices=sorted(OPTIMIZER_METHODS) + ["lru"])
+    p_sim.add_argument("--plan", help="optional pre-computed plan JSON")
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--gantt", action="store_true",
+                       help="print an ASCII execution timeline")
+
+    p_wl = sub.add_parser("workload",
+                          help="emit one of the paper's workloads")
+    p_wl.add_argument("name", choices=sorted(WORKLOAD_NAMES))
+    p_wl.add_argument("--scale-gb", type=float, default=100.0)
+    p_wl.add_argument("--partitioned", action="store_true")
+    p_wl.add_argument("--output", help="write graph JSON here")
+
+    p_bench = sub.add_parser("bench", help="run one paper experiment")
+    p_bench.add_argument("experiment", choices=sorted(_EXPERIMENTS))
+
+    p_exp = sub.add_parser(
+        "explain", help="explain a plan's flag decisions node by node")
+    p_exp.add_argument("graph", help="path to dependency-graph JSON")
+    p_exp.add_argument("--memory", type=float, required=True)
+    p_exp.add_argument("--method", default="sc",
+                       choices=sorted(OPTIMIZER_METHODS))
+    p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument("--no-profile", action="store_true",
+                       help="skip the occupancy chart")
+
+    p_pipe = sub.add_parser(
+        "pipeline", help="optimize a generic ETL pipeline spec")
+    p_pipe.add_argument("spec", help="path to pipeline-spec JSON")
+    p_pipe.add_argument("--memory", type=float, required=True)
+    p_pipe.add_argument("--method", default="sc",
+                        choices=sorted(OPTIMIZER_METHODS))
+    p_pipe.add_argument("--simulate", action="store_true",
+                        help="also simulate the optimized schedule")
+
+    return parser
+
+
+def _load_graph(path: str):
+    with open(path, encoding="utf-8") as handle:
+        return graph_from_json(handle.read())
+
+
+def _cmd_optimize(args) -> int:
+    graph = _load_graph(args.graph)
+    problem = ScProblem(graph=graph, memory_budget=args.memory)
+    result = optimize(problem, method=args.method, seed=args.seed)
+    payload = {
+        "plan": result.plan.to_dict(),
+        "summary": plan_summary(problem, result),
+    }
+    text = json.dumps(payload, indent=2)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    graph = _load_graph(args.graph)
+    controller = Controller()
+    plan = None
+    if args.plan:
+        with open(args.plan, encoding="utf-8") as handle:
+            plan = Plan.from_json(handle.read())
+    trace = controller.refresh(graph, args.memory, method=args.method,
+                               seed=args.seed, plan=plan)
+    print(f"method:            {args.method}")
+    print(f"end-to-end time:   {trace.end_to_end_time:.3f} s")
+    print(f"table read:        {trace.table_read_latency:.3f} s "
+          f"(disk {trace.table_read_disk_latency:.3f} s)")
+    print(f"compute:           {trace.compute_latency:.3f} s")
+    print(f"blocking write:    {trace.write_latency:.3f} s")
+    print(f"stall:             {trace.stall_time:.3f} s")
+    print(f"peak catalog use:  {trace.peak_catalog_usage:.3f} "
+          f"/ {trace.memory_budget:.3f}")
+    if args.gantt:
+        print()
+        print(trace.gantt())
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    graph = build_workload(args.name, scale_gb=args.scale_gb,
+                           partitioned=args.partitioned)
+    text = graph_to_json(graph)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    result = _EXPERIMENTS[args.experiment]()
+    print(result.render())
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from repro.viz.explain import explain_plan
+
+    graph = _load_graph(args.graph)
+    problem = ScProblem(graph=graph, memory_budget=args.memory)
+    result = optimize(problem, method=args.method, seed=args.seed)
+    print(explain_plan(problem, result.plan,
+                       include_profile=not args.no_profile))
+    return 0
+
+
+def _cmd_pipeline(args) -> int:
+    from repro.etl.planner import plan_pipeline, simulate_schedule
+    from repro.etl.spec import PipelineSpec
+
+    with open(args.spec, encoding="utf-8") as handle:
+        spec = PipelineSpec.from_json(handle.read())
+    schedule = plan_pipeline(spec, memory_budget_gb=args.memory,
+                             method=args.method)
+    print(schedule.render())
+    if args.simulate:
+        trace = simulate_schedule(spec, schedule)
+        print()
+        print(f"simulated end-to-end time: "
+              f"{trace.end_to_end_time:.3f} s")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "optimize": _cmd_optimize,
+        "simulate": _cmd_simulate,
+        "workload": _cmd_workload,
+        "bench": _cmd_bench,
+        "explain": _cmd_explain,
+        "pipeline": _cmd_pipeline,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

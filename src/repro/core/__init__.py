@@ -1,0 +1,54 @@
+"""S/C Opt — the paper's core contribution.
+
+Given a dependency graph of MV updates with per-node sizes ``s_i`` and
+speedup scores ``t_i`` plus a Memory Catalog budget ``M``, jointly choose
+
+* a set ``U`` of *flagged* nodes whose outputs live in memory, and
+* an execution order ``τ``,
+
+maximizing the total speedup score of ``U`` subject to peak residency of
+flagged nodes never exceeding ``M`` (Problem 1, §IV).
+
+The solution is :class:`~repro.core.alternating.AlternatingOptimizer`
+(Algorithm 2), alternating between the exact MKP node selection
+(:mod:`~repro.core.knapsack_select`, Algorithm 1) and the memory-aware DFS
+order (:mod:`~repro.core.madfs`). Baselines for both subproblems live in
+:mod:`~repro.core.selection_baselines` and :mod:`~repro.core.order_baselines`;
+the :mod:`~repro.core.optimizer` facade wires any combination together.
+"""
+
+from repro.core.problem import ScProblem
+from repro.core.plan import Plan
+from repro.core.residency import (
+    average_memory_usage,
+    is_feasible,
+    memory_profile,
+    peak_memory_usage,
+    residency_intervals,
+)
+from repro.core.constraints import ConstraintSets, get_constraints
+from repro.core.knapsack_select import SelectionResult, select_nodes_mkp
+from repro.core.madfs import ma_dfs_order
+from repro.core.alternating import AlternatingOptimizer, AlternatingResult
+from repro.core.optimizer import OPTIMIZER_METHODS, optimize
+from repro.core.speedup import compute_speedup_scores
+
+__all__ = [
+    "ScProblem",
+    "Plan",
+    "residency_intervals",
+    "peak_memory_usage",
+    "average_memory_usage",
+    "memory_profile",
+    "is_feasible",
+    "ConstraintSets",
+    "get_constraints",
+    "SelectionResult",
+    "select_nodes_mkp",
+    "ma_dfs_order",
+    "AlternatingOptimizer",
+    "AlternatingResult",
+    "OPTIMIZER_METHODS",
+    "optimize",
+    "compute_speedup_scores",
+]

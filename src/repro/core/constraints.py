@@ -1,0 +1,108 @@
+"""``GetConstraints`` — build and prune the MKP constraint sets (Algorithm 1).
+
+Raw residency sets ``V_i`` (one per execution position) are heavily
+redundant. Following §V-A, a constraint set is dropped when it is
+
+* **non-maximal** — a strict subset of another set ``V_j`` (any assignment
+  satisfying ``V_j``'s capacity satisfies it too), or
+* **trivial** — its total candidate size cannot exceed the budget even if
+  every member is flagged.
+
+Candidate *nodes* are first filtered through ``V_exclude``
+(``s_i > M`` or ``t_i = 0``). The sweep exploits that the live set only
+changes at arrivals/departures: only positions immediately before a
+departure (or the final position) can host a maximal set, which keeps the
+collection pass linear; a final subset filter over that small collection
+guarantees exact maximality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.problem import ScProblem
+from repro.core.residency import residency_intervals
+
+
+@dataclass(frozen=True)
+class ConstraintSets:
+    """Output of :func:`get_constraints`.
+
+    Attributes:
+        sets: the retained (maximal, non-trivial) candidate sets.
+        excluded: ``V_exclude`` — nodes barred from flagging.
+        free_nodes: candidate nodes appearing in *no* retained set; they can
+            be flagged unconditionally (Algorithm 1 line 9).
+        candidates: all non-excluded nodes.
+    """
+
+    sets: tuple[frozenset[str], ...]
+    excluded: frozenset[str]
+    free_nodes: frozenset[str]
+    candidates: frozenset[str]
+
+    @property
+    def mkp_nodes(self) -> frozenset[str]:
+        """``V_mkp`` — union of retained constraint sets."""
+        union: set[str] = set()
+        for s in self.sets:
+            union |= s
+        return frozenset(union)
+
+
+def get_constraints(problem: ScProblem,
+                    order: Sequence[str]) -> ConstraintSets:
+    """Compute pruned constraint sets for the given execution order."""
+    graph = problem.graph
+    budget = problem.memory_budget
+    excluded = problem.excluded_nodes()
+    candidates = frozenset(set(graph.nodes()) - excluded)
+
+    intervals = residency_intervals(graph, order)
+    n = len(order)
+    arrivals: list[list[str]] = [[] for _ in range(n)]
+    departures: list[list[str]] = [[] for _ in range(n + 1)]
+    for node in candidates:
+        start, end = intervals[node]
+        arrivals[start].append(node)
+        departures[end + 1].append(node)
+
+    # Sweep: the live set grows within a run of arrivals and can only become
+    # non-maximal by being extended, so only snapshot it right before a
+    # departure (and at the end of the run).
+    live: set[str] = set()
+    live_size = 0.0
+    collected: list[tuple[frozenset[str], float]] = []
+    for p in range(n):
+        if departures[p] and live:
+            collected.append((frozenset(live), live_size))
+        for node in departures[p]:
+            if node in live:
+                live.discard(node)
+                live_size -= problem.size_of(node)
+        for node in arrivals[p]:
+            live.add(node)
+            live_size += problem.size_of(node)
+    if live:
+        collected.append((frozenset(live), live_size))
+
+    # Drop trivial sets, deduplicate, then enforce exact maximality.
+    nontrivial = {s: size for s, size in collected if size > budget + 1e-9}
+    retained: list[frozenset[str]] = []
+    sets_desc = sorted(nontrivial, key=len, reverse=True)
+    for s in sets_desc:
+        if not any(s < kept for kept in retained):
+            retained.append(s)
+
+    in_some_set: set[str] = set()
+    for s in retained:
+        in_some_set |= s
+    free_nodes = frozenset(candidates - in_some_set)
+
+    return ConstraintSets(
+        sets=tuple(retained),
+        excluded=frozenset(excluded),
+        free_nodes=free_nodes,
+        candidates=candidates,
+    )

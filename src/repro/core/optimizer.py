@@ -1,0 +1,146 @@
+"""Optimizer facade: every method from the paper behind one function.
+
+``optimize(problem, method=...)`` wires a node selector and an order solver
+into the alternating loop. Method names follow the paper's figures:
+
+========================  ============================  =====================
+name                      node selection                execution order
+========================  ============================  =====================
+``none``                  nothing flagged               initial topological
+``sc`` / ``mkp+madfs``    SimplifiedMKP (exact)         MA-DFS  *(ours)*
+``mkp``                   SimplifiedMKP                 initial topological
+``greedy``                greedy scan                   initial topological
+``random``                random scan                   initial topological
+``ratio``                 score/size ratio scan         initial topological
+``greedy+madfs``          greedy scan                   MA-DFS
+``random+madfs``          random scan                   MA-DFS
+``ratio+madfs``           ratio scan                    MA-DFS
+``mkp+sa``                SimplifiedMKP                 simulated annealing
+``mkp+separator``         SimplifiedMKP                 recursive separators
+========================  ============================  =====================
+
+The LRU baseline of Figure 9 is not an optimizer (it makes no plan); it
+lives in :mod:`repro.engine.lru` and is selected through
+:mod:`repro.bench.methods`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from repro.core.alternating import (
+    AlternatingOptimizer,
+    AlternatingResult,
+    madfs_order_solver,
+    mkp_node_selector,
+)
+from repro.core.order_baselines import (
+    sa_order_solver,
+    separator_order_solver,
+)
+from repro.core.plan import Plan
+from repro.core.problem import ScProblem
+from repro.core.residency import peak_memory_usage
+from repro.core.selection_baselines import (
+    greedy_selection,
+    random_selection,
+    ratio_selection,
+)
+from repro.errors import ValidationError
+from repro.graph.topo import kahn_topological_order
+
+
+def _random_selector(seed: int):
+    def select(problem: ScProblem, order: Sequence[str]) -> frozenset[str]:
+        return random_selection(problem, order, rng=random.Random(seed))
+
+    return select
+
+
+def _build(method: str, seed: int) -> AlternatingOptimizer:
+    selectors = {
+        "mkp": mkp_node_selector,
+        "greedy": greedy_selection,
+        "random": _random_selector(seed),
+        "ratio": ratio_selection,
+    }
+    order_solvers = {
+        "madfs": madfs_order_solver,
+        "sa": sa_order_solver(seed=seed),
+        "separator": separator_order_solver(),
+        None: None,
+    }
+    if "+" in method:
+        selection_name, order_name = method.split("+", 1)
+    else:
+        selection_name, order_name = method, None
+    if selection_name not in selectors:
+        raise ValidationError(f"unknown selection method "
+                              f"{selection_name!r} in {method!r}")
+    if order_name not in order_solvers:
+        raise ValidationError(f"unknown order method "
+                              f"{order_name!r} in {method!r}")
+    return AlternatingOptimizer(
+        node_selector=selectors[selection_name],
+        order_solver=order_solvers[order_name],
+    )
+
+
+#: Method names accepted by :func:`optimize`.
+OPTIMIZER_METHODS: tuple[str, ...] = (
+    "none",
+    "sc",
+    "mkp",
+    "greedy",
+    "random",
+    "ratio",
+    "mkp+madfs",
+    "greedy+madfs",
+    "random+madfs",
+    "ratio+madfs",
+    "mkp+sa",
+    "mkp+separator",
+)
+
+
+def optimize(problem: ScProblem, method: str = "sc",
+             seed: int = 0,
+             initial_order: Sequence[str] | None = None,
+             ) -> AlternatingResult:
+    """Produce a refresh plan with the requested method.
+
+    ``seed`` feeds the stochastic components (random selection, SA); exact
+    methods ignore it. Raises :class:`ValidationError` on unknown methods.
+    """
+    if method not in OPTIMIZER_METHODS:
+        raise ValidationError(
+            f"unknown method {method!r}; choose from {OPTIMIZER_METHODS}")
+    if method == "none":
+        order = (list(initial_order) if initial_order is not None
+                 else kahn_topological_order(problem.graph))
+        plan = Plan.unoptimized(order)
+        return AlternatingResult(
+            plan=plan, total_score=0.0,
+            peak_memory=0.0, iterations=0,
+            stop_reason="no_optimization", history=[])
+    if method == "sc":
+        method = "mkp+madfs"
+    optimizer = _build(method, seed)
+    return optimizer.optimize(problem, initial_order=initial_order)
+
+
+def plan_summary(problem: ScProblem, result: AlternatingResult) -> dict:
+    """Small dict of plan quality metrics (used by reports and the CLI)."""
+    plan = result.plan
+    return {
+        "n_nodes": problem.n,
+        "n_flagged": len(plan.flagged),
+        "total_score": problem.total_score(plan.flagged),
+        "flagged_size": problem.total_size(plan.flagged),
+        "peak_memory": peak_memory_usage(problem.graph, plan.order,
+                                         plan.flagged),
+        "memory_budget": problem.memory_budget,
+        "iterations": result.iterations,
+        "stop_reason": result.stop_reason,
+    }

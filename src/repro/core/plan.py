@@ -1,0 +1,99 @@
+"""A refresh plan: the execution order ``τ`` plus the flagged set ``U``.
+
+This is the optimizer's output and the Controller's input (Figure 4 right):
+run the nodes in ``order``; create each node in ``flagged`` inside the Memory
+Catalog (materializing to storage in the background) and every other node
+directly on storage.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import GraphError, InfeasiblePlanError
+from repro.graph.dag import DependencyGraph
+from repro.graph.topo import check_topological_order
+
+
+@dataclass(frozen=True)
+class Plan:
+    """Immutable (order, flagged) pair.
+
+    Attributes:
+        order: node ids in execution order (a topological order of the DAG).
+        flagged: nodes whose outputs are kept in the Memory Catalog.
+    """
+
+    order: tuple[str, ...]
+    flagged: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        unknown = self.flagged - set(self.order)
+        if unknown:
+            raise GraphError(
+                f"flagged nodes missing from order: {sorted(unknown)}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def unoptimized(cls, order: Sequence[str]) -> "Plan":
+        """The no-optimization baseline: serial execution, nothing flagged."""
+        return cls(order=tuple(order), flagged=frozenset())
+
+    @classmethod
+    def make(cls, order: Sequence[str],
+             flagged: Sequence[str] | set[str] | frozenset[str]) -> "Plan":
+        return cls(order=tuple(order), flagged=frozenset(flagged))
+
+    # ------------------------------------------------------------------
+    def position(self, node_id: str) -> int:
+        """0-based execution position ``τ(i)`` of a node."""
+        try:
+            return self.order.index(node_id)
+        except ValueError:
+            raise GraphError(f"node {node_id!r} not in plan order") from None
+
+    def positions(self) -> dict[str, int]:
+        return {v: i for i, v in enumerate(self.order)}
+
+    def is_flagged(self, node_id: str) -> bool:
+        return node_id in self.flagged
+
+    def validate_against(self, graph: DependencyGraph,
+                         memory_budget: float | None = None) -> None:
+        """Check order validity and (optionally) the memory budget.
+
+        Raises :class:`GraphError` for order problems and
+        :class:`InfeasiblePlanError` when peak flagged residency exceeds
+        ``memory_budget``.
+        """
+        check_topological_order(graph, self.order)
+        if memory_budget is not None:
+            from repro.core.residency import peak_memory_usage
+
+            peak = peak_memory_usage(graph, self.order, self.flagged)
+            if peak > memory_budget + 1e-9:
+                raise InfeasiblePlanError(
+                    f"plan peak memory {peak:.6g} exceeds budget "
+                    f"{memory_budget:.6g}", peak=peak, budget=memory_budget)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"order": list(self.order), "flagged": sorted(self.flagged)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Plan":
+        return cls(order=tuple(payload["order"]),
+                   flagged=frozenset(payload.get("flagged", [])))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Plan":
+        return cls.from_dict(json.loads(text))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Plan(n={len(self.order)}, "
+                f"flagged={len(self.flagged)})")

@@ -1,0 +1,82 @@
+"""S/C Opt problem container (paper Problem 1).
+
+Bundles the four inputs — dependency graph ``G``, node sizes ``S``, speedup
+scores ``T`` (both carried on the graph's nodes), and the Memory Catalog
+size ``M`` — plus the convenience accessors every solver component needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import ValidationError
+from repro.graph.dag import DependencyGraph
+
+
+@dataclass
+class ScProblem:
+    """An S/C Opt instance.
+
+    Attributes:
+        graph: the dependency DAG; node ``size``/``score`` attributes supply
+            ``S`` and ``T``. Validated acyclic on construction.
+        memory_budget: Memory Catalog size ``M`` (same unit as node sizes).
+    """
+
+    graph: DependencyGraph
+    memory_budget: float
+    _sizes: dict[str, float] = field(init=False, repr=False)
+    _scores: dict[str, float] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.memory_budget < 0:
+            raise ValidationError(
+                f"memory_budget must be >= 0, got {self.memory_budget}")
+        self.graph.validate()
+        self._sizes = self.graph.sizes()
+        self._scores = self.graph.scores()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tables(cls, edges: list[tuple[str, str]],
+                    sizes: Mapping[str, float],
+                    scores: Mapping[str, float],
+                    memory_budget: float) -> "ScProblem":
+        """Build directly from edge/size/score tables (tests, toy examples)."""
+        graph = DependencyGraph.from_edges(edges, sizes=sizes, scores=scores)
+        return cls(graph=graph, memory_budget=memory_budget)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    def size_of(self, node_id: str) -> float:
+        return self._sizes[node_id]
+
+    def score_of(self, node_id: str) -> float:
+        return self._scores[node_id]
+
+    @property
+    def sizes(self) -> dict[str, float]:
+        return dict(self._sizes)
+
+    @property
+    def scores(self) -> dict[str, float]:
+        return dict(self._scores)
+
+    def total_score(self, flagged: set[str] | frozenset[str]) -> float:
+        """Objective of S/C Opt: ``Σ_{v in U} t_v``."""
+        return sum(self._scores[v] for v in flagged)
+
+    def total_size(self, flagged: set[str] | frozenset[str]) -> float:
+        """Algorithm 2's convergence metric: ``Σ_{v in U} s_v``."""
+        return sum(self._sizes[v] for v in flagged)
+
+    def excluded_nodes(self) -> set[str]:
+        """``V_exclude`` of Algorithm 1: oversized or zero-benefit nodes."""
+        return {
+            v for v in self.graph.nodes()
+            if self._sizes[v] > self.memory_budget or self._scores[v] == 0.0
+        }

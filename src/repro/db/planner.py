@@ -1,0 +1,153 @@
+"""Binder + executor: SQL AST → result table.
+
+The planner is deliberately syntactic: joins execute in the order written
+(our workload definitions are authored with sensible orders, mirroring how
+dbt/LookML compile to SQL the warehouse executes as given). Column
+references are resolved against the columns actually present after each
+operator; qualified names fall back to the join-collision rename scheme of
+:func:`repro.db.operators.hash_join`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.db.expressions import AggSpec, BinOp, Col, Expr, Lit, Not, \
+    Projection
+from repro.db.operators import (
+    aggregate,
+    filter_rows,
+    hash_join,
+    limit,
+    project,
+    sort_rows,
+)
+from repro.db.sql import SelectStatement, parse_select
+from repro.db.table import Table
+from repro.errors import PlanningError
+
+# Resolves a table name to a loaded Table (provided by the engine; reads
+# from the memory catalog or disk live behind this callable).
+TableResolver = Callable[[str], Table]
+
+
+def _resolve_col(col: Col, available: set[str]) -> Col:
+    """Map a (possibly qualified) reference onto an actual column name."""
+    if col.name in available:
+        return Col(name=col.name)
+    if col.qualifier is not None:
+        renamed = f"{col.qualifier}_{col.name}"
+        if renamed in available:
+            return Col(name=renamed)
+    raise PlanningError(
+        f"unknown column {col.display()}; available: {sorted(available)}")
+
+
+def _resolve_expr(expr: Expr, available: set[str]) -> Expr:
+    if isinstance(expr, Col):
+        return _resolve_col(expr, available)
+    if isinstance(expr, Lit):
+        return expr
+    if isinstance(expr, BinOp):
+        return BinOp(op=expr.op,
+                     left=_resolve_expr(expr.left, available),
+                     right=_resolve_expr(expr.right, available))
+    if isinstance(expr, Not):
+        return Not(operand=_resolve_expr(expr.operand, available))
+    raise PlanningError(f"cannot resolve expression of type {type(expr)}")
+
+
+def execute_select(statement: SelectStatement,
+                   resolver: TableResolver) -> Table:
+    """Run a parsed SELECT against tables supplied by ``resolver``."""
+    current = resolver(statement.from_table)
+
+    for join in statement.joins:
+        right = resolver(join.table)
+        available_left = set(current.column_names)
+        available_right = set(right.column_names)
+        left_key = _resolve_col(join.left, available_left)
+        right_key = _resolve_col(join.right, available_right)
+        current = hash_join(current, right,
+                            left_key.name, right_key.name,
+                            right_prefix=join.table)
+
+    if statement.where is not None:
+        predicate = _resolve_expr(statement.where,
+                                  set(current.column_names))
+        current = filter_rows(current, predicate)
+
+    available = set(current.column_names)
+    has_aggregates = any(item.agg is not None
+                         for item in statement.projections)
+
+    if statement.group_by or has_aggregates:
+        group_cols = [_resolve_col(c, available).name
+                      for c in statement.group_by]
+        aggs: list[AggSpec] = []
+        passthrough: list[str] = []
+        for item in statement.projections:
+            if item.agg is not None:
+                arg = (None if item.agg.arg is None
+                       else _resolve_expr(item.agg.arg, available))
+                aggs.append(AggSpec(func=item.agg.func, arg=arg,
+                                    alias=item.alias))
+            else:
+                resolved = _resolve_expr(item.expr, available)
+                if not isinstance(resolved, Col) or \
+                        resolved.name not in group_cols:
+                    raise PlanningError(
+                        f"non-aggregate output {item.alias!r} must be a "
+                        "GROUP BY column")
+                passthrough.append(resolved.name)
+        current = aggregate(current, group_cols, aggs)
+        # Order output columns as written: group keys + aggregates are all
+        # present; select down to what the query asked for.
+        wanted = []
+        for item in statement.projections:
+            if item.agg is not None:
+                wanted.append(item.alias)
+            else:
+                wanted.append(_resolve_col(item.expr,
+                                           set(current.column_names)).name)
+        if statement.star:
+            raise PlanningError("SELECT * cannot be combined with GROUP BY")
+        current = current.select(wanted)
+    elif statement.star:
+        if statement.projections:
+            raise PlanningError("SELECT * cannot be mixed with expressions")
+    else:
+        projections = [
+            Projection(expr=_resolve_expr(item.expr, available),
+                       alias=item.alias)
+            for item in statement.projections
+        ]
+        current = project(current, projections)
+
+    if statement.order_by:
+        keys = []
+        ascending = []
+        out_cols = set(current.column_names)
+        for name, asc in statement.order_by:
+            if name not in out_cols:
+                raise PlanningError(
+                    f"ORDER BY column {name!r} not in output")
+            keys.append(name)
+            ascending.append(asc)
+        current = sort_rows(current, keys, ascending)
+
+    if statement.limit is not None:
+        current = limit(current, statement.limit)
+
+    return current
+
+
+def execute_sql(sql: str, resolver: TableResolver) -> Table:
+    """Parse + execute one SELECT statement."""
+    return execute_select(parse_select(sql), resolver)
+
+
+def referenced_tables(sql: str) -> list[str]:
+    """Table names a statement reads — the dependency extractor the
+    Controller uses to build refresh DAGs from MV definitions."""
+    return parse_select(sql).referenced_tables()

@@ -1,0 +1,80 @@
+"""Table schemas for the mini DBMS (and the TPC-DS-style generators)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.table import Table
+from repro.errors import ValidationError
+
+#: Logical types supported by the engine, mapped to numpy dtypes.
+_DTYPES = {
+    "int": np.dtype(np.int64),
+    "float": np.dtype(np.float64),
+    "str": np.dtype("U24"),
+    "date": np.dtype(np.int64),  # days since epoch; keeps arithmetic simple
+}
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One column: name plus logical type (``int|float|str|date``)."""
+
+    name: str
+    type: str
+
+    def __post_init__(self) -> None:
+        if self.type not in _DTYPES:
+            raise ValidationError(
+                f"column {self.name!r}: unknown type {self.type!r}; "
+                f"choose from {sorted(_DTYPES)}")
+
+    @property
+    def dtype(self) -> np.dtype:
+        return _DTYPES[self.type]
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """A named list of columns."""
+
+    name: str
+    columns: tuple[ColumnSpec, ...]
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(names) != len(set(names)):
+            raise ValidationError(
+                f"schema {self.name!r} has duplicate column names")
+
+    @classmethod
+    def make(cls, name: str, specs: list[tuple[str, str]]) -> "TableSchema":
+        return cls(name=name,
+                   columns=tuple(ColumnSpec(n, t) for n, t in specs))
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def column(self, name: str) -> ColumnSpec:
+        for spec in self.columns:
+            if spec.name == name:
+                return spec
+        raise ValidationError(
+            f"schema {self.name!r} has no column {name!r}")
+
+    def validate_table(self, table: Table) -> None:
+        """Check a table's columns/dtypes against this schema."""
+        missing = set(self.column_names) - set(table.column_names)
+        if missing:
+            raise ValidationError(
+                f"table missing schema columns: {sorted(missing)}")
+        for spec in self.columns:
+            actual = table[spec.name].dtype
+            expected = spec.dtype
+            if expected.kind != actual.kind:
+                raise ValidationError(
+                    f"column {spec.name!r}: dtype kind {actual.kind!r} does "
+                    f"not match schema type {spec.type!r}")

@@ -1,0 +1,318 @@
+"""SQL subset: tokenizer, recursive-descent parser, and AST.
+
+Supported surface — enough to express every MV in the TPC-DS-style
+workloads::
+
+    SELECT <expr [AS alias]>[, ...] | *
+    FROM <table>
+    [JOIN <table> ON <col> = <col>]...
+    [WHERE <boolean expr>]
+    [GROUP BY <col>[, ...]]
+    [ORDER BY <col> [ASC|DESC][, ...]]
+    [LIMIT <n>]
+
+Expressions cover arithmetic (+ - * /), comparisons (= != < <= > >=),
+AND/OR/NOT, parentheses, qualified names (``t.col``), numeric and
+single-quoted string literals, and the aggregates SUM/COUNT/AVG/MIN/MAX
+(including ``COUNT(*)``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.db.expressions import AggSpec, BinOp, Col, Expr, Lit, Not
+from repro.errors import SqlError
+
+_KEYWORDS = {
+    "SELECT", "FROM", "JOIN", "ON", "WHERE", "GROUP", "ORDER", "BY",
+    "LIMIT", "AS", "AND", "OR", "NOT", "ASC", "DESC",
+    "SUM", "COUNT", "AVG", "MIN", "MAX",
+}
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d*|\.\d+|\d+)
+  | (?P<string>'(?:[^'])*')
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|!=|<>|=|<|>|\+|-|\*|/|\(|\)|,|\.)
+""", re.VERBOSE)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "number" | "string" | "ident" | "keyword" | "op" | "eof"
+    value: str
+    position: int
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Lex SQL text; raises :class:`SqlError` on unknown characters."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(sql):
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            raise SqlError(f"unexpected character {sql[pos]!r}",
+                           sql=sql, position=pos)
+        pos = match.end()
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "ws":
+            continue
+        if kind == "ident" and text.upper() in _KEYWORDS:
+            tokens.append(Token("keyword", text.upper(), match.start()))
+        elif kind == "op" and text == "<>":
+            tokens.append(Token("op", "!=", match.start()))
+        else:
+            tokens.append(Token(kind or "op", text, match.start()))
+    tokens.append(Token("eof", "", len(sql)))
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SelectItem:
+    """Either a scalar expression or an aggregate, with an output alias."""
+
+    expr: Expr | None
+    agg: AggSpec | None
+    alias: str
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    table: str
+    left: Col
+    right: Col
+
+
+@dataclass
+class SelectStatement:
+    projections: list[SelectItem]
+    star: bool
+    from_table: str
+    joins: list[JoinClause] = field(default_factory=list)
+    where: Expr | None = None
+    group_by: list[Col] = field(default_factory=list)
+    order_by: list[tuple[str, bool]] = field(default_factory=list)
+    limit: int | None = None
+
+    def referenced_tables(self) -> list[str]:
+        """FROM + JOIN table names, in syntactic order."""
+        return [self.from_table] + [j.table for j in self.joins]
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+class _Parser:
+    def __init__(self, sql: str):
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.index = 0
+
+    # -------------------- token helpers --------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def check(self, kind: str, value: str | None = None) -> bool:
+        token = self.current
+        return token.kind == kind and (value is None or token.value == value)
+
+    def accept(self, kind: str, value: str | None = None) -> Token | None:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        if not self.check(kind, value):
+            want = value or kind
+            raise SqlError(
+                f"expected {want!r}, found {self.current.value!r}",
+                sql=self.sql, position=self.current.position)
+        return self.advance()
+
+    # -------------------- grammar --------------------
+    def parse(self) -> SelectStatement:
+        self.expect("keyword", "SELECT")
+        star = False
+        projections: list[SelectItem] = []
+        if self.accept("op", "*"):
+            star = True
+        else:
+            projections.append(self._select_item(len(projections)))
+            while self.accept("op", ","):
+                projections.append(self._select_item(len(projections)))
+
+        self.expect("keyword", "FROM")
+        from_table = self._table_name()
+        statement = SelectStatement(projections=projections, star=star,
+                                    from_table=from_table)
+
+        while self.accept("keyword", "JOIN"):
+            table = self._table_name()
+            self.expect("keyword", "ON")
+            left = self._column_ref()
+            self.expect("op", "=")
+            right = self._column_ref()
+            statement.joins.append(
+                JoinClause(table=table, left=left, right=right))
+
+        if self.accept("keyword", "WHERE"):
+            statement.where = self._expr()
+
+        if self.accept("keyword", "GROUP"):
+            self.expect("keyword", "BY")
+            statement.group_by.append(self._column_ref())
+            while self.accept("op", ","):
+                statement.group_by.append(self._column_ref())
+
+        if self.accept("keyword", "ORDER"):
+            self.expect("keyword", "BY")
+            statement.order_by.append(self._order_item())
+            while self.accept("op", ","):
+                statement.order_by.append(self._order_item())
+
+        if self.accept("keyword", "LIMIT"):
+            token = self.expect("number")
+            statement.limit = int(float(token.value))
+
+        self.expect("eof")
+        return statement
+
+    def _table_name(self) -> str:
+        return self.expect("ident").value
+
+    def _column_ref(self) -> Col:
+        first = self.expect("ident").value
+        if self.accept("op", "."):
+            second = self.expect("ident").value
+            return Col(name=second, qualifier=first)
+        return Col(name=first)
+
+    def _order_item(self) -> tuple[str, bool]:
+        name = self.expect("ident").value
+        ascending = True
+        if self.accept("keyword", "DESC"):
+            ascending = False
+        else:
+            self.accept("keyword", "ASC")
+        return name, ascending
+
+    def _select_item(self, index: int) -> SelectItem:
+        if self.current.kind == "keyword" and self.current.value in (
+                "SUM", "COUNT", "AVG", "MIN", "MAX"):
+            func = self.advance().value
+            self.expect("op", "(")
+            arg: Expr | None
+            if func == "COUNT" and self.accept("op", "*"):
+                arg = None
+            else:
+                arg = self._expr()
+            self.expect("op", ")")
+            alias = self._alias() or self._default_agg_alias(func, arg,
+                                                             index)
+            return SelectItem(expr=None,
+                              agg=AggSpec(func=func, arg=arg, alias=alias),
+                              alias=alias)
+        expr = self._expr()
+        alias = self._alias()
+        if alias is None:
+            alias = expr.name if isinstance(expr, Col) else f"col{index}"
+        return SelectItem(expr=expr, agg=None, alias=alias)
+
+    @staticmethod
+    def _default_agg_alias(func: str, arg: Expr | None, index: int) -> str:
+        if arg is None:
+            return "count_star"
+        if isinstance(arg, Col):
+            return f"{func.lower()}_{arg.name}"
+        return f"{func.lower()}_{index}"
+
+    def _alias(self) -> str | None:
+        if self.accept("keyword", "AS"):
+            return self.expect("ident").value
+        if self.current.kind == "ident":
+            return self.advance().value
+        return None
+
+    # -------------------- expressions --------------------
+    def _expr(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        node = self._and_expr()
+        while self.accept("keyword", "OR"):
+            node = BinOp(op="OR", left=node, right=self._and_expr())
+        return node
+
+    def _and_expr(self) -> Expr:
+        node = self._not_expr()
+        while self.accept("keyword", "AND"):
+            node = BinOp(op="AND", left=node, right=self._not_expr())
+        return node
+
+    def _not_expr(self) -> Expr:
+        if self.accept("keyword", "NOT"):
+            return Not(operand=self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        node = self._additive()
+        for op in ("<=", ">=", "!=", "=", "<", ">"):
+            if self.check("op", op):
+                self.advance()
+                return BinOp(op=op, left=node, right=self._additive())
+        return node
+
+    def _additive(self) -> Expr:
+        node = self._multiplicative()
+        while self.current.kind == "op" and self.current.value in ("+", "-"):
+            op = self.advance().value
+            node = BinOp(op=op, left=node, right=self._multiplicative())
+        return node
+
+    def _multiplicative(self) -> Expr:
+        node = self._unary()
+        while self.current.kind == "op" and self.current.value in ("*", "/"):
+            op = self.advance().value
+            node = BinOp(op=op, left=node, right=self._unary())
+        return node
+
+    def _unary(self) -> Expr:
+        if self.accept("op", "-"):
+            return BinOp(op="-", left=Lit(0), right=self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            text = token.value
+            return Lit(float(text) if "." in text else int(text))
+        if token.kind == "string":
+            self.advance()
+            return Lit(token.value[1:-1])
+        if token.kind == "ident":
+            return self._column_ref()
+        if self.accept("op", "("):
+            node = self._expr()
+            self.expect("op", ")")
+            return node
+        raise SqlError(f"unexpected token {token.value!r} in expression",
+                       sql=self.sql, position=token.position)
+
+
+def parse_select(sql: str) -> SelectStatement:
+    """Parse one SELECT statement; raises :class:`SqlError` on bad input."""
+    return _Parser(sql).parse()

@@ -1,0 +1,58 @@
+"""Columnar on-disk format with real compression.
+
+A table is persisted as a single ``.npz`` archive (one compressed member
+per column) — structurally a poor man's Parquet: columnar layout, per-column
+compression, self-describing. The (de)serialization and zlib work is what
+gives the MiniDB its genuine read/write costs for the Figure 3 breakdown.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.db.table import Table
+from repro.errors import ExecutionError
+
+_SUFFIX = ".npz"
+
+
+def table_path(directory: str, name: str) -> str:
+    return os.path.join(directory, f"{name}{_SUFFIX}")
+
+
+def write_table(table: Table, directory: str, name: str,
+                compress: bool = True) -> int:
+    """Persist ``table``; returns the on-disk size in bytes."""
+    os.makedirs(directory, exist_ok=True)
+    path = table_path(directory, name)
+    save = np.savez_compressed if compress else np.savez
+    try:
+        save(path, **table.columns())
+    except OSError as exc:
+        raise ExecutionError(f"failed to write table {name!r}: {exc}") \
+            from exc
+    return os.path.getsize(path)
+
+
+def read_table(directory: str, name: str) -> Table:
+    """Load a persisted table fully into memory."""
+    path = table_path(directory, name)
+    if not os.path.exists(path):
+        raise ExecutionError(f"no persisted table {name!r} at {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        columns = {key: archive[key] for key in archive.files}
+    return Table(columns)
+
+
+def delete_table(directory: str, name: str) -> None:
+    path = table_path(directory, name)
+    if os.path.exists(path):
+        os.remove(path)
+
+
+def on_disk_size(directory: str, name: str) -> int:
+    """Bytes occupied by the persisted table (0 when absent)."""
+    path = table_path(directory, name)
+    return os.path.getsize(path) if os.path.exists(path) else 0

@@ -1,0 +1,50 @@
+"""Execution substrate: the S/C Controller and its simulated warehouse.
+
+The paper runs S/C as a Python front-end over a Presto cluster backed by a
+Hive metastore on NFS. Offline, we substitute a **discrete-event refresh
+simulator** driven by the same per-node metadata the paper's optimizer
+consumes (sizes, compute times) and a calibrated device model
+(:class:`~repro.metadata.costmodel.DeviceProfile`). The simulator reproduces
+the mechanics of §III-C exactly:
+
+* nodes execute serially in plan order;
+* inputs are read from the Memory Catalog when the producer is flagged and
+  resident, otherwise from storage;
+* flagged outputs are created in memory and materialized to storage in the
+  background, overlapped with downstream compute;
+* a flagged node leaves memory only after its last consumer finishes *and*
+  its materialization completes;
+* the run ends when every MV is durable on storage.
+
+An alternative backend executes plans on the real mini columnar DBMS in
+:mod:`repro.db` with genuine disk I/O.
+"""
+
+from repro.engine.memory_catalog import MemoryCatalog
+from repro.engine.storage import StorageDevice
+from repro.engine.trace import NodeTrace, RunTrace
+from repro.engine.simulator import RefreshSimulator, SimulatorOptions
+from repro.engine.lru import LruCache, LruSimulator
+from repro.engine.controller import Controller
+from repro.engine.adaptive import (
+    AdaptiveController,
+    AdaptiveRunReport,
+    sync_points,
+)
+from repro.engine.cluster import simulate_cluster_run
+
+__all__ = [
+    "MemoryCatalog",
+    "StorageDevice",
+    "NodeTrace",
+    "RunTrace",
+    "RefreshSimulator",
+    "SimulatorOptions",
+    "LruCache",
+    "LruSimulator",
+    "Controller",
+    "AdaptiveController",
+    "AdaptiveRunReport",
+    "sync_points",
+    "simulate_cluster_run",
+]

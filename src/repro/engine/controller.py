@@ -1,0 +1,79 @@
+"""The S/C Controller (paper §III-B): plan in, refreshed MVs out.
+
+The Controller ties the pipeline together: it asks the Optimizer for a plan
+(or receives one), then directs the backend — the discrete-event simulator
+or the real MiniDB — to execute nodes in plan order, creating flagged
+outputs in the Memory Catalog and everything else on storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.optimizer import optimize
+from repro.core.plan import Plan
+from repro.core.problem import ScProblem
+from repro.engine.lru import LruSimulator
+from repro.engine.simulator import RefreshSimulator, SimulatorOptions
+from repro.engine.trace import RunTrace
+from repro.errors import ValidationError
+from repro.graph.dag import DependencyGraph
+from repro.graph.topo import kahn_topological_order
+from repro.metadata.costmodel import DeviceProfile
+
+
+@dataclass
+class Controller:
+    """Coordinates optimization and execution of MV refresh runs.
+
+    Attributes:
+        profile: device cost model for the simulator backend.
+        options: simulator runtime policy.
+    """
+
+    profile: DeviceProfile = field(default_factory=DeviceProfile)
+    options: SimulatorOptions = field(default_factory=SimulatorOptions)
+
+    # ------------------------------------------------------------------
+    def plan(self, graph: DependencyGraph, memory_budget: float,
+             method: str = "sc", seed: int = 0) -> Plan:
+        """Run the Optimizer and return the refresh plan."""
+        problem = ScProblem(graph=graph, memory_budget=memory_budget)
+        return optimize(problem, method=method, seed=seed).plan
+
+    def refresh(self, graph: DependencyGraph, memory_budget: float,
+                method: str = "sc", seed: int = 0,
+                plan: Plan | None = None) -> RunTrace:
+        """Optimize (unless a plan is given) and execute a refresh run.
+
+        ``method="lru"`` routes to the LRU-baseline executor: topological
+        order, blocking writes, an LRU result cache of ``memory_budget``
+        bytes. ``method="none"`` runs serially with nothing in memory.
+        """
+        if method == "lru":
+            if plan is not None:
+                raise ValidationError("the LRU baseline does not take a plan")
+            order = kahn_topological_order(graph)
+            return LruSimulator(profile=self.profile).run(
+                graph, order, cache_size=memory_budget, method="lru")
+        if plan is None:
+            plan = self.plan(graph, memory_budget, method=method, seed=seed)
+        simulator = RefreshSimulator(profile=self.profile,
+                                     options=self.options)
+        return simulator.run(graph, plan, memory_budget, method=method)
+
+    # ------------------------------------------------------------------
+    def refresh_on_minidb(self, workload, memory_budget: float,
+                          method: str = "sc", seed: int = 0) -> RunTrace:
+        """Execute a SQL workload on the real MiniDB backend.
+
+        ``workload`` is a :class:`repro.db.engine.SqlWorkload` — a MiniDB
+        instance plus MV definitions forming the dependency graph. Timings
+        in the returned trace are wall-clock measurements of real operator
+        execution and real (compressed) disk I/O.
+        """
+        from repro.db.runner import run_workload  # local import: optional dep
+
+        plan = self.plan(workload.graph(), memory_budget,
+                         method=method, seed=seed)
+        return run_workload(workload, plan, memory_budget, method=method)

@@ -1,0 +1,262 @@
+"""Discrete-event simulation of an MV refresh run (paper §III-C mechanics).
+
+Nodes execute serially in plan order, as in the paper's Presto deployment
+(one refresh statement at a time); parallelism enters through the background
+materialization channel. For each node the simulator charges:
+
+1. **input reads** — each parent output comes from the Memory Catalog when
+   the parent is flagged and resident (memory bandwidth), otherwise from
+   storage (disk bandwidth + latency, inflated while a background write is
+   in flight); base-table bytes (``node.meta["base_input_gb"]``) always come
+   from storage;
+2. **compute** — the node's observed ``compute_time`` when present, else
+   the cost model's estimate from input bytes;
+3. **output** — flagged nodes are created in memory (fast) and their
+   materialization is queued on the background channel; unflagged nodes pay
+   the blocking storage write.
+
+A flagged output leaves the catalog once its last consumer finished *and*
+its background write drained. If an insert finds the catalog full (possible
+only because of still-draining materializations — plan feasibility covers
+the positional part), the simulator applies **backpressure**: it stalls the
+pipeline until space frees, or spills the node to a blocking write when
+stalling cannot help (`SimulatorOptions.on_overflow`).
+
+The run ends when the last node finishes **and** the background channel has
+drained — the paper measures "all MVs materialized on NFS".
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.core.plan import Plan
+from repro.engine.memory_catalog import MemoryCatalog
+from repro.engine.storage import StorageDevice
+from repro.engine.trace import NodeTrace, RunTrace
+from repro.errors import ExecutionError, ValidationError
+from repro.graph.dag import DependencyGraph
+from repro.graph.topo import check_topological_order
+from repro.metadata.costmodel import DeviceProfile
+
+
+@dataclass(frozen=True)
+class SimulatorOptions:
+    """Runtime policy knobs.
+
+    Attributes:
+        on_overflow: what to do when a flagged insert cannot fit even after
+            stalling for background drains — ``"spill"`` (write to disk,
+            keep going) or ``"error"`` (raise :class:`ExecutionError`).
+        compute_penalty: fractional compute slowdown applied to every node,
+            modeling a Memory Catalog carved out of *query memory* instead
+            of spare memory (Figure 11b); 0 means spare memory.
+        strict_budget: raise instead of stalling when the *positional* plan
+            itself is infeasible (optimizer bug guard in tests).
+    """
+
+    on_overflow: str = "spill"
+    compute_penalty: float = 0.0
+    strict_budget: bool = False
+
+    def __post_init__(self) -> None:
+        if self.on_overflow not in ("spill", "error"):
+            raise ValidationError("on_overflow must be 'spill' or 'error'")
+        if self.compute_penalty < 0:
+            raise ValidationError("compute_penalty must be >= 0")
+
+
+@dataclass
+class SimulatorState:
+    """Resumable mid-run state: the Memory Catalog, the storage device's
+    background channel, and the clock.
+
+    Produced by :meth:`RefreshSimulator.begin`, advanced by
+    :meth:`RefreshSimulator.run_segment`, summarized by
+    :meth:`RefreshSimulator.finish`. Carrying it across segments lets a
+    controller re-plan mid-run (see :mod:`repro.engine.adaptive`) without
+    forcing flagged nodes to materialize at the boundary.
+    """
+
+    catalog: MemoryCatalog
+    storage: StorageDevice
+    drain_events: list[tuple[float, str]] = field(default_factory=list)
+    spilled: set[str] = field(default_factory=set)
+    clock: float = 0.0
+    traces: list[NodeTrace] = field(default_factory=list)
+
+    @property
+    def resident_bytes(self) -> float:
+        """Flagged bytes currently occupying the catalog."""
+        return self.catalog.usage
+
+
+@dataclass
+class RefreshSimulator:
+    """Simulates refresh runs under a device profile and runtime policy."""
+
+    profile: DeviceProfile = field(default_factory=DeviceProfile)
+    options: SimulatorOptions = field(default_factory=SimulatorOptions)
+
+    # ------------------------------------------------------------------
+    def begin(self, memory_budget: float) -> SimulatorState:
+        """Fresh mid-run state for segment-wise execution."""
+        if memory_budget < 0:
+            raise ValidationError("memory_budget must be >= 0")
+        return SimulatorState(catalog=MemoryCatalog(budget=memory_budget),
+                              storage=StorageDevice(profile=self.profile))
+
+    def run(self, graph: DependencyGraph, plan: Plan,
+            memory_budget: float, method: str = "") -> RunTrace:
+        """Execute ``plan`` and return the full trace."""
+        check_topological_order(graph, plan.order)
+        state = self.begin(memory_budget)
+        self.run_segment(graph, list(plan.order), plan.flagged, state)
+        return self.finish(state, memory_budget, method=method)
+
+    # ------------------------------------------------------------------
+    def run_segment(self, graph: DependencyGraph, order: list[str],
+                    flagged: frozenset[str] | set[str],
+                    state: SimulatorState) -> None:
+        """Execute ``order`` (a contiguous run of not-yet-executed nodes).
+
+        Parents outside the segment read from the Memory Catalog when a
+        previous segment left them resident, from storage otherwise.
+        Mutates ``state`` in place.
+        """
+        catalog = state.catalog
+        storage = state.storage
+        for node_id in order:
+            node = graph.node(node_id)
+            trace = NodeTrace(node_id=node_id, start=state.clock,
+                              flagged=node_id in flagged)
+            clock = state.clock
+
+            # ---------------- input reads ----------------
+            input_bytes = 0.0
+            for parent in graph.parents(node_id):
+                size = graph.size_of(parent)
+                input_bytes += size
+                if parent in catalog and parent not in state.spilled:
+                    duration = self.profile.read_time_memory(size)
+                    trace.read_memory += duration
+                else:
+                    duration = storage.read_duration(size, clock)
+                    trace.read_disk += duration
+                clock += duration
+            base_bytes = float(node.meta.get("base_input_gb", 0.0))
+            if base_bytes > 0:
+                duration = storage.read_duration(base_bytes, clock)
+                trace.read_disk += duration
+                clock += duration
+                input_bytes += base_bytes
+
+            # ---------------- compute ----------------
+            compute = (node.compute_time if node.compute_time is not None
+                       else self.profile.compute_time(input_bytes))
+            compute *= 1.0 + self.options.compute_penalty
+            trace.compute = compute
+            clock += compute
+
+            # ---------------- output ----------------
+            size = node.size
+            if trace.flagged:
+                clock = self._create_in_memory(
+                    graph, node_id, size, clock, catalog, storage,
+                    state.drain_events, state.spilled, trace)
+            else:
+                duration = storage.write_duration(size, clock)
+                trace.write = duration
+                clock += duration
+
+            # ---------------- release parents ----------------
+            self._apply_drains(catalog, state.drain_events, clock)
+            for parent in graph.parents(node_id):
+                if parent in catalog and parent not in state.spilled:
+                    catalog.consumer_done(parent)
+
+            trace.end = clock
+            state.clock = clock
+            state.traces.append(trace)
+
+    def finish(self, state: SimulatorState, memory_budget: float,
+               method: str = "") -> RunTrace:
+        """Close the run: wait for the background channel, build the trace."""
+        compute_finished = state.clock
+        drained = state.storage.drained_at()
+        self._apply_drains(state.catalog, state.drain_events,
+                           max(compute_finished, drained))
+        return RunTrace(
+            nodes=state.traces,
+            end_to_end_time=max(compute_finished, drained),
+            compute_finished_at=compute_finished,
+            background_drained_at=drained,
+            peak_catalog_usage=state.catalog.peak_usage,
+            memory_budget=memory_budget,
+            method=method,
+        )
+
+    # ------------------------------------------------------------------
+    def _create_in_memory(self, graph: DependencyGraph, node_id: str,
+                          size: float, clock: float, catalog: MemoryCatalog,
+                          storage: StorageDevice,
+                          drain_events: list[tuple[float, str]],
+                          spilled: set[str], trace: NodeTrace) -> float:
+        """Create a flagged output in the catalog; returns the new clock.
+
+        When the catalog is full only because earlier materializations are
+        still draining, the Controller has two rational choices: stall until
+        space frees, or give up the flag and pay the blocking write. It
+        stalls only while the wait is cheaper than the spill — so a plan can
+        never lose more than one blocking write to drain backpressure.
+        """
+        self._apply_drains(catalog, drain_events, clock)
+
+        can_spill = (not self.options.strict_budget
+                     and self.options.on_overflow == "spill")
+        spill_cost = storage.write_duration(size, clock)
+        deadline = clock + spill_cost if can_spill else float("inf")
+        while not catalog.fits(size) and drain_events:
+            event_time, _ = drain_events[0]
+            if event_time <= clock:
+                self._apply_drains(catalog, drain_events, clock)
+                continue
+            if event_time > deadline:
+                break  # waiting costs more than writing through
+            trace.stall += event_time - clock
+            clock = event_time
+            self._apply_drains(catalog, drain_events, clock)
+
+        if not catalog.fits(size):
+            # Even a fully drained catalog has no room: the positional plan
+            # was infeasible (or the budget is just too small for this node).
+            if self.options.strict_budget or self.options.on_overflow == \
+                    "error":
+                raise ExecutionError(
+                    f"Memory Catalog cannot host {node_id!r} "
+                    f"({size:.6g} GB; {catalog.available:.6g} free)")
+            spilled.add(node_id)
+            duration = storage.write_duration(size, clock)
+            trace.write = duration
+            return clock + duration
+
+        duration = self.profile.create_time_memory(size)
+        trace.create_memory = duration
+        clock += duration
+        n_consumers = graph.out_degree(node_id)
+        catalog.insert(node_id, size, n_consumers=n_consumers,
+                       materialization_pending=True)
+        completion = storage.submit_background_write(node_id, size, clock)
+        heapq.heappush(drain_events, (completion, node_id))
+        return clock
+
+    @staticmethod
+    def _apply_drains(catalog: MemoryCatalog,
+                      drain_events: list[tuple[float, str]],
+                      now: float) -> None:
+        """Flip materialization holds for writes that completed by ``now``."""
+        while drain_events and drain_events[0][0] <= now:
+            _, node_id = heapq.heappop(drain_events)
+            if node_id in catalog:
+                catalog.materialized(node_id)

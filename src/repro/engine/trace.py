@@ -1,0 +1,119 @@
+"""Execution traces: per-node timings and run-level breakdowns.
+
+Everything the paper reports about a run derives from these records:
+end-to-end makespan (Figures 9/10/11), table-read / compute / query CPU
+latency splits (Table IV), and read/compute/write percentages (Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NodeTrace:
+    """Timing of one MV update within a refresh run (seconds).
+
+    ``read_memory``/``read_disk`` split input time by source; ``write`` is
+    the *blocking* output time (zero for flagged nodes, whose
+    materialization drains in the background); ``stall`` is time spent
+    waiting for Memory Catalog space (backpressure).
+    """
+
+    node_id: str
+    start: float = 0.0
+    end: float = 0.0
+    read_disk: float = 0.0
+    read_memory: float = 0.0
+    compute: float = 0.0
+    write: float = 0.0
+    create_memory: float = 0.0
+    stall: float = 0.0
+    flagged: bool = False
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def read_total(self) -> float:
+        return self.read_disk + self.read_memory
+
+    @property
+    def elapsed(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class RunTrace:
+    """A whole refresh run: per-node traces plus run-level facts."""
+
+    nodes: list[NodeTrace] = field(default_factory=list)
+    end_to_end_time: float = 0.0
+    compute_finished_at: float = 0.0
+    background_drained_at: float = 0.0
+    peak_catalog_usage: float = 0.0
+    memory_budget: float = 0.0
+    method: str = ""
+
+    # ------------------------------------------------------------------
+    @property
+    def table_read_latency(self) -> float:
+        """Total time reading input tables (Table IV "Table read")."""
+        return sum(n.read_total for n in self.nodes)
+
+    @property
+    def table_read_disk_latency(self) -> float:
+        return sum(n.read_disk for n in self.nodes)
+
+    @property
+    def compute_latency(self) -> float:
+        """Total compute time (Table IV "Compute")."""
+        return sum(n.compute for n in self.nodes)
+
+    @property
+    def write_latency(self) -> float:
+        """Total blocking write time."""
+        return sum(n.write for n in self.nodes)
+
+    @property
+    def query_latency(self) -> float:
+        """Total per-query work (Table IV "Query" = read + compute + write)."""
+        return (self.table_read_latency + self.compute_latency
+                + self.write_latency
+                + sum(n.create_memory for n in self.nodes))
+
+    @property
+    def stall_time(self) -> float:
+        return sum(n.stall for n in self.nodes)
+
+    def breakdown(self) -> dict[str, float]:
+        """Fraction of summed node time per category (Figure 3 axes)."""
+        read = self.table_read_latency
+        compute = self.compute_latency
+        write = self.write_latency + sum(n.create_memory for n in self.nodes)
+        total = read + compute + write
+        if total == 0:
+            return {"read": 0.0, "compute": 0.0, "write": 0.0}
+        return {"read": read / total, "compute": compute / total,
+                "write": write / total}
+
+    def io_ratio(self) -> float:
+        """I/O share of total node time (Table III's "I/O ratio")."""
+        parts = self.breakdown()
+        return parts["read"] + parts["write"]
+
+    # ------------------------------------------------------------------
+    def gantt(self, width: int = 72) -> str:
+        """ASCII timeline of node executions (debugging/reporting aid)."""
+        if not self.nodes or self.end_to_end_time <= 0:
+            return "(empty run)"
+        scale = width / self.end_to_end_time
+        lines = []
+        for node in self.nodes:
+            begin = int(node.start * scale)
+            length = max(1, int(node.elapsed * scale))
+            marker = "#" if node.flagged else "="
+            bar = " " * begin + marker * length
+            lines.append(f"{node.node_id:>16s} |{bar}")
+        lines.append(f"{'':>16s} +{'-' * width}> "
+                     f"{self.end_to_end_time:.2f}s")
+        return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Generic recurring-workload support (the paper's future-work direction).
+
+The conclusion of the paper proposes generalizing S/C "to non-MV refresh
+recurring workloads containing individual jobs with acyclic dependencies"
+— ETL with Hadoop/Spark, Airflow/Oozie job coordination, etc. This
+subpackage provides that generalization:
+
+* :mod:`repro.etl.spec` — an engine-agnostic pipeline specification
+  (jobs, dependencies, observed metrics) with JSON round-tripping, in the
+  shape an Airflow DAG or dbt manifest exports;
+* :mod:`repro.etl.planner` — the bridge from a spec to an S/C problem and
+  back to an executable, annotated schedule. Jobs whose outputs cannot be
+  served from memory (side-effecting loads into external systems) are
+  excluded from flagging but still scheduled.
+"""
+
+from repro.etl.planner import PipelineSchedule, plan_pipeline
+from repro.etl.spec import JobSpec, PipelineSpec
+
+__all__ = [
+    "JobSpec",
+    "PipelineSpec",
+    "PipelineSchedule",
+    "plan_pipeline",
+]

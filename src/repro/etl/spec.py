@@ -1,0 +1,175 @@
+"""Engine-agnostic recurring-pipeline specification.
+
+A :class:`PipelineSpec` is what a coordinator (Airflow, Oozie, dbt) knows
+about a recurring workload: jobs, their dependencies, and the metrics
+observed on previous runs. It deliberately contains nothing S/C-specific —
+the bridge in :mod:`repro.etl.planner` derives the optimizer's inputs.
+
+Job kinds follow the classic ETL taxonomy:
+
+* ``extract`` — reads external systems; its input bytes are charged as
+  base I/O (nothing upstream to short-circuit);
+* ``transform`` — pure data-to-data job; fully short-circuitable;
+* ``load`` — pushes results into an external system (warehouse table,
+  search index, cache). Its *output* cannot be served to downstream jobs
+  from the Memory Catalog, so loads are never flagged — but S/C still
+  schedules them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError, WorkloadError
+
+JOB_KINDS = ("extract", "transform", "load")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One job in a recurring pipeline.
+
+    Attributes:
+        job_id: unique name within the pipeline.
+        kind: one of :data:`JOB_KINDS`.
+        inputs: upstream job ids this job consumes.
+        output_gb: observed/estimated output size.
+        compute_s: observed/estimated pure-compute seconds.
+        external_input_gb: bytes read from outside the pipeline (source
+            databases for extracts, reference data for transforms).
+    """
+
+    job_id: str
+    kind: str = "transform"
+    inputs: tuple[str, ...] = ()
+    output_gb: float = 0.0
+    compute_s: float | None = None
+    external_input_gb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.job_id:
+            raise ValidationError("job_id cannot be empty")
+        if self.kind not in JOB_KINDS:
+            raise ValidationError(
+                f"unknown job kind {self.kind!r}; choose from {JOB_KINDS}")
+        if self.output_gb < 0 or self.external_input_gb < 0:
+            raise ValidationError("sizes must be >= 0")
+        if self.compute_s is not None and self.compute_s < 0:
+            raise ValidationError("compute_s must be >= 0")
+        if self.job_id in self.inputs:
+            raise ValidationError(f"job {self.job_id!r} depends on itself")
+
+    @property
+    def cacheable(self) -> bool:
+        """Whether downstream jobs could read this output from memory."""
+        return self.kind != "load"
+
+
+@dataclass
+class PipelineSpec:
+    """A named set of jobs forming a DAG."""
+
+    name: str
+    jobs: list[JobSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("pipeline name cannot be empty")
+        self.validate()
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        seen: set[str] = set()
+        for job in self.jobs:
+            if job.job_id in seen:
+                raise WorkloadError(f"duplicate job id {job.job_id!r}")
+            seen.add(job.job_id)
+        for job in self.jobs:
+            for upstream in job.inputs:
+                if upstream not in seen:
+                    raise WorkloadError(
+                        f"job {job.job_id!r} depends on unknown job "
+                        f"{upstream!r}")
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        children: dict[str, list[str]] = {j.job_id: [] for j in self.jobs}
+        indegree = {j.job_id: len(j.inputs) for j in self.jobs}
+        for job in self.jobs:
+            for upstream in job.inputs:
+                children[upstream].append(job.job_id)
+        frontier = [j for j, d in indegree.items() if d == 0]
+        visited = 0
+        while frontier:
+            current = frontier.pop()
+            visited += 1
+            for child in children[current]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    frontier.append(child)
+        if visited != len(self.jobs):
+            raise WorkloadError(
+                f"pipeline {self.name!r} contains a dependency cycle")
+
+    # ------------------------------------------------------------------
+    def job(self, job_id: str) -> JobSpec:
+        for job in self.jobs:
+            if job.job_id == job_id:
+                return job
+        raise WorkloadError(f"unknown job {job_id!r}")
+
+    def add_job(self, job: JobSpec) -> "PipelineSpec":
+        """Return a new spec with one more job (specs stay validated)."""
+        return PipelineSpec(name=self.name, jobs=[*self.jobs, job])
+
+    @property
+    def job_ids(self) -> list[str]:
+        return [job.job_id for job in self.jobs]
+
+    def consumers(self, job_id: str) -> list[str]:
+        return [job.job_id for job in self.jobs if job_id in job.inputs]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "jobs": [
+                {
+                    "id": job.job_id,
+                    "kind": job.kind,
+                    "inputs": list(job.inputs),
+                    "output_gb": job.output_gb,
+                    "compute_s": job.compute_s,
+                    "external_input_gb": job.external_input_gb,
+                }
+                for job in self.jobs
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PipelineSpec":
+        try:
+            jobs = [
+                JobSpec(
+                    job_id=entry["id"],
+                    kind=entry.get("kind", "transform"),
+                    inputs=tuple(entry.get("inputs", ())),
+                    output_gb=float(entry.get("output_gb", 0.0)),
+                    compute_s=(None if entry.get("compute_s") is None
+                               else float(entry["compute_s"])),
+                    external_input_gb=float(
+                        entry.get("external_input_gb", 0.0)),
+                )
+                for entry in payload["jobs"]
+            ]
+            return cls(name=payload["name"], jobs=jobs)
+        except (KeyError, TypeError) as exc:
+            raise ValidationError(f"malformed pipeline spec: {exc}") from exc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PipelineSpec":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,73 @@
+"""Descriptive statistics for dependency graphs (used in reports/Table III)."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.graph.dag import DependencyGraph
+from repro.graph.traversal import longest_path_levels
+
+
+@dataclass(frozen=True)
+class DagStats:
+    """Shape summary of a DAG.
+
+    ``height`` counts levels (stages) along the longest chain; ``width`` is
+    the largest number of nodes sharing a level; ``stage_stdev`` is the
+    standard deviation of per-level node counts (Figure 14's sweep axis).
+    """
+
+    n_nodes: int
+    n_edges: int
+    height: int
+    width: int
+    height_width_ratio: float
+    max_outdegree: int
+    mean_outdegree: float
+    stage_stdev: float
+    n_sources: int
+    n_sinks: int
+    total_size: float
+
+    def as_dict(self) -> dict:
+        return {
+            "n_nodes": self.n_nodes,
+            "n_edges": self.n_edges,
+            "height": self.height,
+            "width": self.width,
+            "height_width_ratio": self.height_width_ratio,
+            "max_outdegree": self.max_outdegree,
+            "mean_outdegree": self.mean_outdegree,
+            "stage_stdev": self.stage_stdev,
+            "n_sources": self.n_sources,
+            "n_sinks": self.n_sinks,
+            "total_size": self.total_size,
+        }
+
+
+def dag_stats(graph: DependencyGraph) -> DagStats:
+    """Compute :class:`DagStats` for ``graph`` (validates acyclicity)."""
+    levels = longest_path_levels(graph)
+    counts_by_level: dict[int, int] = {}
+    for level in levels.values():
+        counts_by_level[level] = counts_by_level.get(level, 0) + 1
+    level_counts = [counts_by_level[k] for k in sorted(counts_by_level)]
+    height = len(level_counts)
+    width = max(level_counts)
+    outdegrees = [graph.out_degree(v) for v in graph.nodes()]
+    return DagStats(
+        n_nodes=graph.n,
+        n_edges=graph.m,
+        height=height,
+        width=width,
+        height_width_ratio=height / width,
+        max_outdegree=max(outdegrees) if outdegrees else 0,
+        mean_outdegree=(sum(outdegrees) / len(outdegrees)) if outdegrees
+        else 0.0,
+        stage_stdev=(statistics.pstdev(level_counts)
+                     if len(level_counts) > 1 else 0.0),
+        n_sources=len(graph.sources()),
+        n_sinks=len(graph.sinks()),
+        total_size=graph.total_size(),
+    )

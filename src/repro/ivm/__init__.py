@@ -1,0 +1,62 @@
+"""Incremental view maintenance (IVM) over the mini columnar DBMS.
+
+The paper positions S/C as *orthogonal to and fully compatible with*
+incremental view maintenance (§VII): IVM shrinks each node's refresh work,
+S/C short-circuits whatever reads and writes remain. This subpackage makes
+that claim concrete:
+
+* :mod:`repro.ivm.delta` — signed (weighted) delta tables, the bag-algebra
+  currency of incremental maintenance;
+* :mod:`repro.ivm.rules` — per-operator delta propagation rules
+  (filter/project/join/union/aggregate);
+* :mod:`repro.ivm.view` — view definition trees and stateful incremental
+  views (aggregate accumulators, non-distributive fallback);
+* :mod:`repro.ivm.pipeline` — a DAG of views maintained together, with the
+  bridge that turns an incremental refresh round into an S/C problem;
+* :mod:`repro.ivm.estimate` — cost-based full-vs-incremental choice.
+
+The golden invariant, enforced by property tests: applying a view's output
+delta to its materialization equals recomputing the view from scratch.
+"""
+
+from repro.ivm.delta import SignedDelta, WEIGHT_COLUMN, apply_delta
+from repro.ivm.estimate import RefreshDecision, choose_refresh_mode
+from repro.ivm.pipeline import IncrementalPipeline, IngestReport
+from repro.ivm.rules import (
+    delta_filter,
+    delta_join,
+    delta_project,
+    delta_union,
+)
+from repro.ivm.view import (
+    Aggregate,
+    Filter,
+    IncrementalView,
+    Join,
+    Project,
+    Scan,
+    Union,
+    ViewOp,
+)
+
+__all__ = [
+    "SignedDelta",
+    "WEIGHT_COLUMN",
+    "apply_delta",
+    "delta_filter",
+    "delta_project",
+    "delta_join",
+    "delta_union",
+    "ViewOp",
+    "Scan",
+    "Filter",
+    "Project",
+    "Join",
+    "Aggregate",
+    "Union",
+    "IncrementalView",
+    "IncrementalPipeline",
+    "IngestReport",
+    "RefreshDecision",
+    "choose_refresh_mode",
+]

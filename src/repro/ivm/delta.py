@@ -1,0 +1,205 @@
+"""Signed delta tables: the currency of incremental maintenance.
+
+A :class:`SignedDelta` is a table of changed rows plus an integer weight
+column — positive weights insert copies of a row, negative weights delete
+them (bag semantics, DBToaster-style). Operators propagate deltas by
+transforming rows and *multiplying* weights, which makes the join rule and
+deletion handling fall out of the same algebra instead of needing separate
+insert/delete code paths.
+
+``apply_delta`` folds a delta into a materialized table; ``consolidate``
+merges duplicate rows by summing weights so deltas stay small as they flow
+through a view tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.table import Table
+from repro.errors import ValidationError
+
+#: Reserved column carrying each delta row's signed multiplicity.
+WEIGHT_COLUMN = "__weight__"
+
+
+def _require_no_weight(table: Table) -> None:
+    if WEIGHT_COLUMN in table:
+        raise ValidationError(
+            f"table already has a {WEIGHT_COLUMN!r} column")
+
+
+def _row_group_boundaries(table: Table,
+                          columns: list[str]) -> tuple[np.ndarray,
+                                                       np.ndarray]:
+    """Sort rows by ``columns``; return (sort order, group-start mask).
+
+    Works for any mix of dtypes because each column sorts independently
+    inside :func:`numpy.lexsort`.
+    """
+    keys = [table[name] for name in reversed(columns)]
+    order = np.lexsort(keys)
+    # a row starts a group when any key differs from the previous row
+    starts = np.zeros(len(table), dtype=bool)
+    if len(table):
+        starts[0] = True
+        for name in columns:
+            col = table[name][order]
+            starts[1:] |= col[1:] != col[:-1]
+    return order, starts
+
+
+@dataclass(frozen=True)
+class SignedDelta:
+    """A set of weighted row changes against one table schema."""
+
+    table: Table
+
+    def __post_init__(self) -> None:
+        if WEIGHT_COLUMN not in self.table:
+            raise ValidationError(
+                f"a SignedDelta needs a {WEIGHT_COLUMN!r} column")
+        weights = self.table[WEIGHT_COLUMN]
+        if len(weights) and weights.dtype.kind not in "iu":
+            raise ValidationError("delta weights must be integers")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_inserts(cls, rows: Table) -> "SignedDelta":
+        """All rows inserted once."""
+        _require_no_weight(rows)
+        return cls(rows.with_column(
+            WEIGHT_COLUMN, np.ones(len(rows), dtype=np.int64)))
+
+    @classmethod
+    def from_deletes(cls, rows: Table) -> "SignedDelta":
+        """All rows deleted once."""
+        _require_no_weight(rows)
+        return cls(rows.with_column(
+            WEIGHT_COLUMN, -np.ones(len(rows), dtype=np.int64)))
+
+    @classmethod
+    def from_changes(cls, inserts: Table, deletes: Table) -> "SignedDelta":
+        """Combined insert + delete delta (schemas must match)."""
+        plus = cls.from_inserts(inserts)
+        minus = cls.from_deletes(deletes)
+        return cls(Table.concat([plus.table, minus.table]))
+
+    @classmethod
+    def empty(cls, like: Table) -> "SignedDelta":
+        """A zero-row delta with ``like``'s schema."""
+        schema = {name: col[:0] for name, col in like.columns().items()
+                  if name != WEIGHT_COLUMN}
+        schema[WEIGHT_COLUMN] = np.zeros(0, dtype=np.int64)
+        return cls(Table(schema))
+
+    # ------------------------------------------------------------------
+    @property
+    def data_columns(self) -> list[str]:
+        return [name for name in self.table.column_names
+                if name != WEIGHT_COLUMN]
+
+    @property
+    def weights(self) -> np.ndarray:
+        return self.table[WEIGHT_COLUMN]
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self.table) == 0
+
+    @property
+    def n_changes(self) -> int:
+        """Total row multiplicity moved (|inserts| + |deletes|)."""
+        return int(np.abs(self.weights).sum()) if len(self.table) else 0
+
+    @property
+    def net_rows(self) -> int:
+        """Net row-count change when applied."""
+        return int(self.weights.sum()) if len(self.table) else 0
+
+    @property
+    def nbytes(self) -> int:
+        return self.table.nbytes
+
+    def data(self) -> Table:
+        """The changed rows without the weight column."""
+        return self.table.select(self.data_columns)
+
+    # ------------------------------------------------------------------
+    def consolidate(self) -> "SignedDelta":
+        """Merge identical rows by summing weights; drop zero weights."""
+        if len(self.table) <= 1:
+            if len(self.table) == 1 and int(self.weights[0]) == 0:
+                return SignedDelta.empty(self.table)
+            return self
+        columns = self.data_columns
+        if not columns:
+            total = int(self.weights.sum())
+            if total == 0:
+                return SignedDelta.empty(self.table)
+            return SignedDelta(Table(
+                {WEIGHT_COLUMN: np.array([total], dtype=np.int64)}))
+        order, starts = _row_group_boundaries(self.table, columns)
+        group_ids = np.cumsum(starts) - 1
+        sums = np.bincount(group_ids, weights=self.weights[order].astype(
+            np.float64)).astype(np.int64)
+        first_rows = order[starts]
+        keep = sums != 0
+        data = self.table.take(first_rows[keep])
+        merged = {name: data[name] for name in columns}
+        merged[WEIGHT_COLUMN] = sums[keep]
+        return SignedDelta(Table(merged))
+
+    def scaled(self, factor: int) -> "SignedDelta":
+        """Delta with all weights multiplied by an integer factor."""
+        if factor == 0:
+            return SignedDelta.empty(self.table)
+        return SignedDelta(self.table.with_column(
+            WEIGHT_COLUMN, self.weights * np.int64(factor)))
+
+    def inverted(self) -> "SignedDelta":
+        """The delta that undoes this one."""
+        return self.scaled(-1)
+
+
+def concat_deltas(deltas: list[SignedDelta]) -> SignedDelta:
+    """Stack deltas over the same schema (no consolidation)."""
+    if not deltas:
+        raise ValidationError("concat_deltas needs at least one delta")
+    return SignedDelta(Table.concat([d.table for d in deltas]))
+
+
+def apply_delta(table: Table, delta: SignedDelta,
+                consolidated: bool = False) -> Table:
+    """Fold a delta into a materialized table.
+
+    Raises :class:`ValidationError` when the delta deletes rows the table
+    does not contain (a maintenance bug upstream, never silently ignored).
+    Set ``consolidated=True`` when the delta is already consolidated to
+    skip one pass.
+    """
+    _require_no_weight(table)
+    if delta.is_empty:
+        return table
+    if sorted(delta.data_columns) != sorted(table.column_names):
+        raise ValidationError(
+            f"delta schema {delta.data_columns} does not match table "
+            f"schema {table.column_names}")
+    if not consolidated:
+        delta = delta.consolidate()
+        if delta.is_empty:
+            return table
+
+    base = SignedDelta.from_inserts(table)
+    aligned = delta.table.select(list(base.data_columns) + [WEIGHT_COLUMN])
+    combined = SignedDelta(Table.concat([base.table, aligned]))
+    merged = combined.consolidate()
+    weights = merged.weights
+    if len(weights) and int(weights.min()) < 0:
+        raise ValidationError(
+            "delta deletes rows that are not present in the table")
+    expanded = merged.data().take(
+        np.repeat(np.arange(len(weights)), weights))
+    return expanded.select(table.column_names)

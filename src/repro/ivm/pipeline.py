@@ -1,0 +1,195 @@
+"""A DAG of incrementally-maintained views + the bridge to S/C.
+
+:class:`IncrementalPipeline` owns base tables and a set of views (each an
+:class:`~repro.ivm.view.IncrementalView`) whose sources may be base tables
+or other views. ``materialize_all`` computes everything in topological
+order; ``ingest`` pushes base-table deltas through the whole DAG and
+reports per-view delta volumes.
+
+The S/C bridge (``to_sc_problem``) turns one observed refresh round into
+the optimizer's input: each view becomes a node whose *size* is the bytes
+the refresh materializes (delta bytes under IVM, full bytes otherwise) and
+whose dependencies mirror the view DAG. This demonstrates the paper's
+compatibility claim (§VII): IVM shrinks the nodes, S/C still reorders and
+short-circuits whatever I/O remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.problem import ScProblem
+from repro.core.speedup import compute_speedup_scores
+from repro.errors import ValidationError
+from repro.graph.dag import DependencyGraph
+from repro.graph.topo import kahn_topological_order
+from repro.ivm.delta import SignedDelta, apply_delta
+from repro.ivm.view import IncrementalView, ViewOp, evaluate_plan
+from repro.db.table import Table
+from repro.metadata.costmodel import DeviceProfile
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """Per-view outcome of one incremental refresh round."""
+
+    view_deltas: dict[str, SignedDelta]
+    changed_rows: dict[str, int]
+    delta_bytes: dict[str, int]
+    base_delta_bytes: dict[str, int]
+
+    @property
+    def total_changed_rows(self) -> int:
+        return sum(self.changed_rows.values())
+
+    @property
+    def total_delta_bytes(self) -> int:
+        return sum(self.delta_bytes.values())
+
+
+class IncrementalPipeline:
+    """Base tables + a DAG of incrementally maintained views."""
+
+    def __init__(self, base_tables: dict[str, Table]):
+        if not base_tables:
+            raise ValidationError("pipeline needs at least one base table")
+        self.base_tables = dict(base_tables)
+        self.views: dict[str, IncrementalView] = {}
+        self._order: list[str] | None = None
+
+    # ------------------------------------------------------------------
+    def add_view(self, name: str, plan: ViewOp) -> IncrementalView:
+        """Register a view; sources must already exist (no cycles)."""
+        if name in self.views or name in self.base_tables:
+            raise ValidationError(f"name {name!r} already in use")
+        for source in plan.sources():
+            if source not in self.base_tables and source not in self.views:
+                raise ValidationError(
+                    f"view {name!r} reads unknown source {source!r}")
+        view = IncrementalView(name=name, plan=plan)
+        self.views[name] = view
+        self._order = None
+        return view
+
+    def view_order(self) -> list[str]:
+        """Topological order of views (base tables excluded)."""
+        if self._order is None:
+            graph = DependencyGraph()
+            for name in self.views:
+                graph.add_node(name)
+            for name, view in self.views.items():
+                for source in view.sources():
+                    if source in self.views:
+                        graph.add_edge(source, name)
+            self._order = kahn_topological_order(graph)
+        return self._order
+
+    # ------------------------------------------------------------------
+    def catalog(self) -> dict[str, Table]:
+        """Current contents of every base table and materialized view."""
+        out = dict(self.base_tables)
+        for name, view in self.views.items():
+            if view.table is not None:
+                out[name] = view.table
+        return out
+
+    def materialize_all(self) -> dict[str, Table]:
+        """Full refresh of every view in topological order."""
+        for name in self.view_order():
+            self.views[name].materialize(self.catalog())
+        return {name: self.views[name].table for name in self.views}
+
+    # ------------------------------------------------------------------
+    def ingest(self, base_deltas: dict[str, SignedDelta]) -> IngestReport:
+        """Apply base-table deltas and refresh every view incrementally.
+
+        Views receive the deltas of exactly their sources (bases and
+        upstream views); the report captures each view's output delta.
+        """
+        for name in base_deltas:
+            if name not in self.base_tables:
+                raise ValidationError(f"unknown base table {name!r}")
+        snapshot = self.catalog()  # schemas for unchanged-source deltas
+        available: dict[str, SignedDelta] = dict(base_deltas)
+        view_deltas: dict[str, SignedDelta] = {}
+        changed: dict[str, int] = {}
+        nbytes: dict[str, int] = {}
+        for name in self.view_order():
+            view = self.views[name]
+            relevant = {
+                src: available.get(src, SignedDelta.empty(snapshot[src]))
+                for src in view.sources()
+            }
+            delta = view.apply_deltas(relevant)
+            available[name] = delta
+            view_deltas[name] = delta
+            changed[name] = delta.n_changes
+            nbytes[name] = delta.nbytes
+
+        for name, delta in base_deltas.items():
+            self.base_tables[name] = apply_delta(
+                self.base_tables[name], delta)
+        return IngestReport(
+            view_deltas=view_deltas, changed_rows=changed,
+            delta_bytes=nbytes,
+            base_delta_bytes={name: delta.nbytes
+                              for name, delta in base_deltas.items()})
+
+    # ------------------------------------------------------------------
+    def verify_against_full_recompute(self) -> None:
+        """Assert every view equals its from-scratch recomputation.
+
+        The IVM golden invariant; cheap enough to run in tests and after
+        suspicious ingests. Ordering is canonicalized before comparison
+        because maintenance may permute rows.
+        """
+        catalog = dict(self.base_tables)
+        for name in self.view_order():
+            expected = evaluate_plan(self.views[name].plan, catalog)
+            actual = self.views[name].table
+            if actual is None:
+                raise ValidationError(f"view {name!r} not materialized")
+            if not _same_multiset(expected, actual):
+                raise ValidationError(
+                    f"view {name!r} diverged from full recompute")
+            catalog[name] = expected
+
+    # ------------------------------------------------------------------
+    def to_sc_problem(self, report: IngestReport, memory_budget_gb: float,
+                      cost_model: DeviceProfile | None = None,
+                      ) -> ScProblem:
+        """One refresh round as an S/C optimization problem.
+
+        Node sizes are the bytes each view's refresh materializes — the
+        delta bytes just observed — so the optimizer sees the post-IVM
+        workload. Speedup scores follow the paper's §IV formula under the
+        given cost model.
+        """
+        cost_model = cost_model or DeviceProfile()
+        graph = DependencyGraph()
+        for name in self.view_order():
+            size_gb = report.delta_bytes.get(name, 0) / 1024.0 ** 3
+            # base-table delta bytes this view must read from storage
+            base_gb = sum(
+                report.base_delta_bytes.get(src, 0) / 1024.0 ** 3
+                for src in self.views[name].sources()
+                if src in self.base_tables)
+            graph.add_node(name, size=max(size_gb, 1e-9), op="MV",
+                           meta={"base_input_gb": base_gb})
+        for name, view in self.views.items():
+            for source in view.sources():
+                if source in self.views:
+                    graph.add_edge(source, name)
+        compute_speedup_scores(graph, cost_model)
+        return ScProblem(graph=graph, memory_budget=memory_budget_gb)
+
+
+def _same_multiset(left: Table, right: Table) -> bool:
+    """Row-multiset equality ignoring order."""
+    if sorted(left.column_names) != sorted(right.column_names):
+        return False
+    if len(left) != len(right):
+        return False
+    left_rows = sorted(map(repr, left.to_pylist()))
+    right_rows = sorted(map(repr, right.to_pylist()))
+    return left_rows == right_rows

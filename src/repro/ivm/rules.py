@@ -1,0 +1,100 @@
+"""Per-operator delta propagation rules.
+
+Each rule answers: given the operator's *old* inputs and the input deltas,
+what delta does the operator's output experience? Weights make the algebra
+compositional — a delete is just a negative weight, and the classic join
+rule
+
+    Δ(L ⋈ R) = ΔL ⋈ R_old  +  L_old ⋈ ΔR  +  ΔL ⋈ ΔR
+
+multiplies weights across the join, handling inserts, deletes, and mixed
+batches uniformly.
+
+Aggregation is stateful and lives in :mod:`repro.ivm.view`; this module
+provides the stateless rules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db.expressions import Expr, Projection
+from repro.db.operators import hash_join
+from repro.db.table import Table
+from repro.errors import ValidationError
+from repro.ivm.delta import SignedDelta, WEIGHT_COLUMN, concat_deltas
+
+
+def delta_filter(delta: SignedDelta, predicate: Expr) -> SignedDelta:
+    """Filter commutes with deltas: keep changed rows passing the predicate."""
+    if delta.is_empty:
+        return delta
+    mask = predicate.evaluate(delta.table)
+    if mask.dtype != np.bool_:
+        raise ValidationError("filter predicate must evaluate to booleans")
+    return SignedDelta(delta.table.mask(mask))
+
+
+def delta_project(delta: SignedDelta,
+                  projections: list[Projection]) -> SignedDelta:
+    """Bag projection: transform columns, keep weights."""
+    if not projections:
+        raise ValidationError("projection list cannot be empty")
+    columns = {p.alias: p.expr.evaluate(delta.table) for p in projections}
+    if WEIGHT_COLUMN in columns:
+        raise ValidationError(
+            f"projection alias {WEIGHT_COLUMN!r} is reserved")
+    columns[WEIGHT_COLUMN] = delta.weights
+    return SignedDelta(Table(columns)).consolidate()
+
+
+def delta_union(deltas: list[SignedDelta]) -> SignedDelta:
+    """UNION ALL: deltas stack."""
+    return concat_deltas(deltas).consolidate()
+
+
+def _weighted_join(left: Table, left_weights: np.ndarray, right: Table,
+                   right_weights: np.ndarray, left_key: str,
+                   right_key: str, right_prefix: str | None) -> SignedDelta:
+    """Join two weighted relations; output weight = product of weights."""
+    tagged_left = left.with_column("__lw__", left_weights)
+    tagged_right = right.with_column("__rw__", right_weights)
+    joined = hash_join(tagged_left, tagged_right, left_key, right_key,
+                       right_prefix=right_prefix)
+    weights = (joined["__lw__"] * joined["__rw__"]).astype(np.int64)
+    data = {name: col for name, col in joined.columns().items()
+            if name not in ("__lw__", "__rw__")}
+    data[WEIGHT_COLUMN] = weights
+    return SignedDelta(Table(data))
+
+
+def delta_join(left_old: Table, left_delta: SignedDelta,
+               right_old: Table, right_delta: SignedDelta,
+               left_key: str, right_key: str,
+               right_prefix: str | None = None) -> SignedDelta:
+    """Incremental inner equi-join.
+
+    The three terms reference *old* states on the opposite side plus the
+    cross term, so the rule is exact for arbitrary mixed insert/delete
+    batches on both inputs.
+    """
+    parts: list[SignedDelta] = []
+    ones_right = np.ones(len(right_old), dtype=np.int64)
+    ones_left = np.ones(len(left_old), dtype=np.int64)
+    if not left_delta.is_empty:
+        parts.append(_weighted_join(
+            left_delta.data(), left_delta.weights, right_old, ones_right,
+            left_key, right_key, right_prefix))
+    if not right_delta.is_empty:
+        parts.append(_weighted_join(
+            left_old, ones_left, right_delta.data(), right_delta.weights,
+            left_key, right_key, right_prefix))
+    if not left_delta.is_empty and not right_delta.is_empty:
+        parts.append(_weighted_join(
+            left_delta.data(), left_delta.weights, right_delta.data(),
+            right_delta.weights, left_key, right_key, right_prefix))
+    if not parts:
+        empty = hash_join(left_old.head(0), right_old.head(0), left_key,
+                          right_key, right_prefix=right_prefix)
+        return SignedDelta.from_inserts(empty)
+    return concat_deltas(parts).consolidate()

@@ -1,0 +1,201 @@
+"""Device cost model: sizes → read/write/compute seconds.
+
+Defaults are calibrated to the paper's experimental environment (§VI-A): an
+NFS-backed store measuring 519.8 MB/s sequential read, 358.9 MB/s write and
+175 µs read latency. Raw device bandwidth is only half the story, though —
+a warehouse table read pays NFS transfer *plus* decompression and
+deserialization (ORC/Parquet), and a blocking materialization pays
+compression/serialization *plus* the NFS write. The paper measures exactly
+this: "writing joined results into persistent storage (which could include
+compression, serialization, and network I/O) took 37%–69% of the total
+runtime" (Fig. 3) and "read/write took 85% of the time spent on compute
+operations" even for the fastest Rust Arrow codec (§II-C).
+
+The model therefore composes each table access as a two-stage pipeline —
+device transfer and codec — whose effective bandwidth is the harmonic
+combination of the stage rates. The Memory Catalog path skips the codec
+entirely (tables live decoded in memory), which is the short-circuit S/C
+exploits. Codec rates default to ORC/Parquet-like figures chosen so the
+five-workload no-opt total at 100 GB lands near Table V's 1528 s.
+
+All sizes are **GB**, all times **seconds**.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.errors import ValidationError
+
+MB = 1.0 / 1024.0  # GB per MB
+
+
+def _pipeline_bandwidth(device_rate: float, codec_rate: float) -> float:
+    """Effective rate of a device+codec pipeline (harmonic combination)."""
+    if math.isinf(codec_rate):
+        return device_rate
+    return 1.0 / (1.0 / device_rate + 1.0 / codec_rate)
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Bandwidths and latencies of one warehouse worker.
+
+    Attributes:
+        disk_read_bandwidth: raw GB/s of the storage device/NFS mount for
+            reads (the paper's measured 519.8 MB/s).
+        disk_write_bandwidth: raw GB/s of the device for writes (358.9 MB/s).
+        read_latency: per-access fixed latency in seconds (175 µs).
+        decode_rate: GB/s at which the engine decompresses + deserializes
+            a persisted table during a scan. ``inf`` disables the codec
+            stage (useful for simplified test profiles).
+        encode_rate: GB/s at which the engine serializes + compresses a
+            table during materialization. ``inf`` disables the stage.
+        memory_bandwidth: GB/s for reading/creating tables in the Memory
+            Catalog (tables are kept decoded; no codec applies).
+        compute_rate: GB/s of input processed by relational operators; used
+            only when a node does not carry an observed ``compute_time``.
+        background_interference: fraction by which an in-flight background
+            materialization slows foreground disk traffic (paper §IV:
+            "minimal interference").
+        background_parallelism: throughput multiplier of the background
+            materialization channel relative to its raw-device rate.
+            Background writes pay only raw device bandwidth — the encode
+            stage runs on otherwise-idle cores, overlapped with downstream
+            compute (paper §III-C) — and multiple writer streams to the
+            NFS mount exceed the single-stream rate Figure 3 measures.
+    """
+
+    disk_read_bandwidth: float = 519.8 * MB
+    disk_write_bandwidth: float = 358.9 * MB
+    read_latency: float = 175e-6
+    decode_rate: float = 0.26
+    encode_rate: float = 0.15
+    memory_bandwidth: float = 12.8
+    compute_rate: float = 1.0
+    background_interference: float = 0.02
+    background_parallelism: float = 2.0
+
+    def __post_init__(self) -> None:
+        for name in ("disk_read_bandwidth", "disk_write_bandwidth",
+                     "decode_rate", "encode_rate", "memory_bandwidth",
+                     "compute_rate", "background_parallelism"):
+            if getattr(self, name) <= 0:
+                raise ValidationError(f"{name} must be > 0")
+        if self.read_latency < 0:
+            raise ValidationError("read_latency must be >= 0")
+        if not 0.0 <= self.background_interference < 1.0:
+            raise ValidationError(
+                "background_interference must be in [0, 1)")
+
+    # ------------------------------------------------------------------
+    @property
+    def effective_read_bandwidth(self) -> float:
+        """GB/s of a full table scan: device transfer + decode pipeline."""
+        return _pipeline_bandwidth(self.disk_read_bandwidth, self.decode_rate)
+
+    @property
+    def effective_write_bandwidth(self) -> float:
+        """GB/s of a blocking materialization: encode + device transfer."""
+        return _pipeline_bandwidth(self.disk_write_bandwidth,
+                                   self.encode_rate)
+
+    # ------------------------------------------------------------------
+    def read_time_disk(self, size_gb: float) -> float:
+        """Seconds to read ``size_gb`` from persistent storage (decoded)."""
+        return self.read_latency + size_gb / self.effective_read_bandwidth
+
+    def read_time_memory(self, size_gb: float) -> float:
+        """Seconds to read ``size_gb`` from the Memory Catalog."""
+        return size_gb / self.memory_bandwidth
+
+    def write_time_disk(self, size_gb: float) -> float:
+        """Seconds to materialize ``size_gb`` to persistent storage.
+
+        This is the *blocking* path: encode then transfer.
+        """
+        return size_gb / self.effective_write_bandwidth
+
+    def background_write_time(self, size_gb: float) -> float:
+        """Seconds the background channel needs to drain ``size_gb``.
+
+        Encode happens on idle cores overlapped with downstream work, so
+        only the raw device transfer serializes on the channel.
+        """
+        return size_gb / (self.disk_write_bandwidth
+                          * self.background_parallelism)
+
+    def create_time_memory(self, size_gb: float) -> float:
+        """Seconds to create a ``size_gb`` table inside the Memory Catalog."""
+        return size_gb / self.memory_bandwidth
+
+    def compute_time(self, input_gb: float) -> float:
+        """Default compute estimate when no observation exists."""
+        return input_gb / self.compute_rate
+
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float) -> "DeviceProfile":
+        """A profile with all bandwidths/compute scaled by ``factor``.
+
+        Used by the cluster model: an ``n``-worker cluster behaves like one
+        device ``~n×`` faster (up to parallel efficiency). Codec rates scale
+        too — more workers decode/encode in parallel.
+        """
+        if factor <= 0:
+            raise ValidationError("scale factor must be > 0")
+        return replace(
+            self,
+            disk_read_bandwidth=self.disk_read_bandwidth * factor,
+            disk_write_bandwidth=self.disk_write_bandwidth * factor,
+            decode_rate=self.decode_rate * factor,
+            encode_rate=self.encode_rate * factor,
+            memory_bandwidth=self.memory_bandwidth * factor,
+            compute_rate=self.compute_rate * factor,
+        )
+
+
+#: A fast local columnar engine (Polars/Arrow IPC on NVMe), used to
+#: *calibrate* workload compute times from Table III's Polars-profiled I/O
+#: ratios. The paper estimated each workload's I/O percentage with Polars
+#: precisely because a local Arrow engine pays far less per byte of I/O than
+#: the warehouse — simulating on the warehouse profile then yields the
+#: higher effective I/O share that makes S/C's optimization worthwhile.
+POLARS_PROFILE = DeviceProfile(
+    disk_read_bandwidth=7.0,
+    disk_write_bandwidth=3.5,
+    read_latency=20e-6,
+    decode_rate=42.0,
+    encode_rate=21.0,
+    memory_bandwidth=12.8,
+)
+
+
+@dataclass(frozen=True)
+class ClusterProfile:
+    """A Presto-style cluster: ``worker_count`` devices with scaling losses.
+
+    Scaling follows Amdahl's law with a serial fraction: doubling workers
+    less than halves runtimes, matching the sub-linear no-opt runtimes of
+    Table V (1528 s → 868 s → 656 s ... for 1..5 workers).
+    """
+
+    device: DeviceProfile = DeviceProfile()
+    worker_count: int = 1
+    serial_fraction: float = 0.12
+
+    def __post_init__(self) -> None:
+        if self.worker_count < 1:
+            raise ValidationError("worker_count must be >= 1")
+        if not 0.0 <= self.serial_fraction < 1.0:
+            raise ValidationError("serial_fraction must be in [0, 1)")
+
+    @property
+    def speedup_factor(self) -> float:
+        """Effective throughput multiplier vs. a single worker (Amdahl)."""
+        n = self.worker_count
+        return 1.0 / (self.serial_fraction + (1.0 - self.serial_fraction) / n)
+
+    def effective_device(self) -> DeviceProfile:
+        """Single-device equivalent of the whole cluster."""
+        return self.device.scaled(self.speedup_factor)

@@ -1,0 +1,137 @@
+"""Observed execution metadata from past MV refresh runs (paper §III-A).
+
+Database admins see consistent per-MV metrics across recurring runs: output
+size on disk and elapsed times. S/C's optimizer consumes exactly two derived
+quantities per node — the output size ``s_i`` and the speedup score ``t_i``.
+This module stores raw observations (possibly several runs' worth), smooths
+them, and annotates dependency graphs for the optimizer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.graph.dag import DependencyGraph
+from repro.metadata.costmodel import DeviceProfile
+
+
+@dataclass
+class NodeMetadata:
+    """Accumulated observations for one MV node.
+
+    Multiple runs append to the lists; estimates use the mean of recent
+    observations (windowed so drifting workloads adapt).
+    """
+
+    node_id: str
+    output_sizes: list[float] = field(default_factory=list)
+    compute_times: list[float] = field(default_factory=list)
+    window: int = 5
+
+    def record(self, output_size: float,
+               compute_time: float | None = None) -> None:
+        if output_size < 0:
+            raise ValidationError("output_size must be >= 0")
+        self.output_sizes.append(output_size)
+        if compute_time is not None:
+            if compute_time < 0:
+                raise ValidationError("compute_time must be >= 0")
+            self.compute_times.append(compute_time)
+
+    @property
+    def estimated_size(self) -> float:
+        """Windowed mean of observed output sizes (0 when never observed)."""
+        if not self.output_sizes:
+            return 0.0
+        recent = self.output_sizes[-self.window:]
+        return sum(recent) / len(recent)
+
+    @property
+    def estimated_compute_time(self) -> float | None:
+        if not self.compute_times:
+            return None
+        recent = self.compute_times[-self.window:]
+        return sum(recent) / len(recent)
+
+
+class WorkloadMetadata:
+    """Per-workload metadata store keyed by node id."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, NodeMetadata] = {}
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def node(self, node_id: str) -> NodeMetadata:
+        if node_id not in self._nodes:
+            self._nodes[node_id] = NodeMetadata(node_id=node_id)
+        return self._nodes[node_id]
+
+    def record_run(self, sizes: dict[str, float],
+                   compute_times: dict[str, float] | None = None) -> None:
+        """Append one refresh run's observations."""
+        compute_times = compute_times or {}
+        for node_id, size in sizes.items():
+            self.node(node_id).record(size, compute_times.get(node_id))
+
+    # ------------------------------------------------------------------
+    def annotate_graph(self, graph: DependencyGraph,
+                       cost_model: DeviceProfile | None = None,
+                       require_all: bool = False) -> DependencyGraph:
+        """Write estimated sizes (and speedup scores) onto graph nodes.
+
+        Returns the same graph for chaining. With a ``cost_model``, speedup
+        scores are recomputed from the estimated sizes via the paper's §IV
+        formula; otherwise only sizes are updated. ``require_all`` raises if
+        any graph node lacks observations (useful before a production run).
+        """
+        missing = [v for v in graph.nodes() if v not in self._nodes]
+        if require_all and missing:
+            raise ValidationError(
+                f"no metadata for nodes: {missing[:5]}"
+                + ("..." if len(missing) > 5 else ""))
+        for node_id in graph.nodes():
+            if node_id not in self._nodes:
+                continue
+            meta = self._nodes[node_id]
+            node = graph.node(node_id)
+            node.size = meta.estimated_size
+            estimated = meta.estimated_compute_time
+            if estimated is not None:
+                node.compute_time = estimated
+        if cost_model is not None:
+            from repro.core.speedup import compute_speedup_scores
+
+            compute_speedup_scores(graph, cost_model)
+        return graph
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            node_id: {
+                "output_sizes": meta.output_sizes,
+                "compute_times": meta.compute_times,
+            }
+            for node_id, meta in self._nodes.items()
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WorkloadMetadata":
+        store = cls()
+        for node_id, record in payload.items():
+            meta = store.node(node_id)
+            meta.output_sizes = [float(x) for x in
+                                 record.get("output_sizes", [])]
+            meta.compute_times = [float(x) for x in
+                                  record.get("compute_times", [])]
+        return store
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkloadMetadata":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,152 @@
+"""Persistent metadata store + recurring-pipeline manager.
+
+S/C's inputs come "from DBMS-side SQL executions from past MV refresh
+runs" (§III-A). In a deployment those observations live across process
+lifetimes: the pipeline runs daily, each run appends observations, and the
+next run plans from them. :class:`MetadataStore` persists one
+:class:`~repro.metadata.metadata.WorkloadMetadata` JSON file per workload
+under a directory; :class:`RecurringPipeline` is the loop a scheduler
+would drive — observe, persist, re-plan.
+
+Drift detection compares the recent observation window against the older
+history so operators can see *why* plans changed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.optimizer import optimize
+from repro.core.plan import Plan
+from repro.core.problem import ScProblem
+from repro.errors import ValidationError
+from repro.graph.dag import DependencyGraph
+from repro.metadata.costmodel import DeviceProfile
+from repro.metadata.metadata import WorkloadMetadata
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Recent-vs-history size drift for one workload."""
+
+    node_ratios: dict[str, float]
+
+    @property
+    def max_drift(self) -> float:
+        """Largest |ratio − 1| across nodes (0 when nothing to compare)."""
+        if not self.node_ratios:
+            return 0.0
+        return max(abs(r - 1.0) for r in self.node_ratios.values())
+
+    def drifted_nodes(self, threshold: float = 0.25) -> list[str]:
+        return sorted(node for node, ratio in self.node_ratios.items()
+                      if abs(ratio - 1.0) > threshold)
+
+
+class MetadataStore:
+    """Directory-backed store: one JSON file per workload name."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _path(self, workload: str) -> Path:
+        if not workload or "/" in workload or workload.startswith("."):
+            raise ValidationError(f"invalid workload name {workload!r}")
+        return self.root / f"{workload}.json"
+
+    def workloads(self) -> list[str]:
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    def __contains__(self, workload: str) -> bool:
+        return self._path(workload).exists()
+
+    # ------------------------------------------------------------------
+    def load(self, workload: str) -> WorkloadMetadata:
+        """Stored metadata, or an empty store for new workloads."""
+        path = self._path(workload)
+        if not path.exists():
+            return WorkloadMetadata()
+        try:
+            return WorkloadMetadata.from_json(path.read_text())
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise ValidationError(
+                f"corrupt metadata file {path}: {exc}") from exc
+
+    def save(self, workload: str, metadata: WorkloadMetadata) -> Path:
+        """Atomic write (tmp file + rename)."""
+        path = self._path(workload)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(metadata.to_json())
+        tmp.replace(path)
+        return path
+
+    def record_run(self, workload: str, sizes: dict[str, float],
+                   compute_times: dict[str, float] | None = None,
+                   ) -> WorkloadMetadata:
+        """Append one run's observations and persist."""
+        metadata = self.load(workload)
+        metadata.record_run(sizes, compute_times)
+        self.save(workload, metadata)
+        return metadata
+
+    # ------------------------------------------------------------------
+    def drift(self, workload: str, recent: int = 2) -> DriftReport:
+        """Recent-window mean vs. prior-history mean, per node."""
+        metadata = self.load(workload)
+        ratios: dict[str, float] = {}
+        for node_id, node_meta in metadata.to_dict().items():
+            sizes = node_meta["output_sizes"]
+            if len(sizes) <= recent:
+                continue
+            head = sizes[:-recent]
+            tail = sizes[-recent:]
+            old = sum(head) / len(head)
+            new = sum(tail) / len(tail)
+            if old > 1e-12:
+                ratios[node_id] = new / old
+        return DriftReport(node_ratios=ratios)
+
+
+@dataclass
+class RecurringPipeline:
+    """The observe → persist → re-plan loop of a scheduled refresh job.
+
+    Typical use, once per scheduled run::
+
+        pipeline = RecurringPipeline(store=MetadataStore("~/.sc-meta"),
+                                     workload="daily_sales")
+        plan = pipeline.plan(graph, memory_budget=1.6)
+        ...execute plan, collect observed sizes/times...
+        pipeline.observe(sizes, compute_times)
+    """
+
+    store: MetadataStore
+    workload: str
+    cost_model: DeviceProfile | None = None
+    method: str = "sc"
+
+    def plan(self, graph: DependencyGraph, memory_budget: float,
+             seed: int = 0) -> Plan:
+        """Annotate the graph from stored metadata and optimize.
+
+        Nodes never observed keep the sizes/scores already on the graph
+        (e.g. optimizer-independent estimates), so cold starts work.
+        """
+        annotated = graph.copy()
+        metadata = self.store.load(self.workload)
+        metadata.annotate_graph(
+            annotated, cost_model=self.cost_model or DeviceProfile())
+        problem = ScProblem(graph=annotated, memory_budget=memory_budget)
+        return optimize(problem, method=self.method, seed=seed).plan
+
+    def observe(self, sizes: dict[str, float],
+                compute_times: dict[str, float] | None = None) -> None:
+        """Persist one run's observations."""
+        self.store.record_run(self.workload, sizes, compute_times)
+
+    def drift(self, recent: int = 2) -> DriftReport:
+        return self.store.drift(self.workload, recent=recent)

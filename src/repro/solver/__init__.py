@@ -1,0 +1,34 @@
+"""Optimization substrate.
+
+The paper solves S/C Opt Nodes with the branch-and-bound knapsack solver
+from Google OR-Tools. This package is our from-scratch replacement: a
+multidimensional 0-1 knapsack branch-and-bound solver with fractional upper
+bounds, plus the heuristic machinery the paper's ablations need (greedy
+selection, simulated annealing over orders, recursive separator ordering) and
+an exhaustive reference solver used by the test suite to certify optimality
+on small instances.
+"""
+
+from repro.solver.mkp import (
+    BranchAndBoundSolver,
+    MkpInstance,
+    MkpSolution,
+    solve_mkp,
+)
+from repro.solver.brute import solve_mkp_brute_force
+from repro.solver.greedy import greedy_mkp, greedy_mkp_by_density
+from repro.solver.sa import AnnealingSchedule, anneal_order
+from repro.solver.separator import separator_order
+
+__all__ = [
+    "MkpInstance",
+    "MkpSolution",
+    "BranchAndBoundSolver",
+    "solve_mkp",
+    "solve_mkp_brute_force",
+    "greedy_mkp",
+    "greedy_mkp_by_density",
+    "AnnealingSchedule",
+    "anneal_order",
+    "separator_order",
+]

@@ -1,0 +1,132 @@
+"""Exact dynamic-programming solver for *single-constraint* knapsacks.
+
+When a workload's retained constraint sets collapse to one (chains and
+near-chains after pruning — common for deeply nested MV stacks), the MKP
+degenerates to a classic 0-1 knapsack, and a DP over scaled weights is
+both exact and worst-case polynomial in ``n * resolution`` — a useful
+cross-check and occasionally faster than branch-and-bound on adversarial
+instances.
+
+Weights are floats (GB), so the DP discretizes capacity into
+``resolution`` buckets and rounds item weights **up** — rounding up keeps
+every DP-feasible selection truly feasible (the solution is always valid;
+it may be slightly conservative, controlled by the resolution).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ValidationError
+from repro.solver.mkp import MkpInstance, MkpSolution
+
+
+def solve_knapsack_dp(profits: Sequence[float], weights: Sequence[float],
+                      capacity: float,
+                      resolution: int = 10_000) -> MkpSolution:
+    """Exact (up to weight discretization) 0-1 knapsack via DP.
+
+    ``resolution`` is the number of capacity buckets; item weights round
+    up to the next bucket so the returned selection never violates the
+    real capacity.
+    """
+    if len(profits) != len(weights):
+        raise ValidationError("profits and weights must align")
+    if capacity < 0:
+        raise ValidationError("capacity must be >= 0")
+    if resolution < 1:
+        raise ValidationError("resolution must be >= 1")
+    if any(w < 0 for w in weights):
+        raise ValidationError("weights must be >= 0")
+
+    n = len(profits)
+    if n == 0 or capacity == 0:
+        free = tuple(i for i in range(n)
+                     if weights[i] == 0 and profits[i] > 0)
+        return MkpSolution(selected=free,
+                           objective=sum(profits[i] for i in free),
+                           optimal=True, notes="dp-trivial")
+
+    scale = resolution / capacity
+    scaled = [min(resolution + 1, math.ceil(w * scale - 1e-12))
+              if w > 0 else 0 for w in weights]
+
+    # best[c] = max profit using capacity exactly <= c; choice bitsets via
+    # per-item predecessor table to reconstruct the selection.
+    best = [0.0] * (resolution + 1)
+    taken: list[list[bool]] = [[False] * (resolution + 1)
+                               for _ in range(n)]
+    for i in range(n):
+        w, p = scaled[i], profits[i]
+        if p <= 0:
+            continue
+        if w > resolution:
+            continue  # cannot fit alone
+        row = taken[i]
+        for c in range(resolution, w - 1, -1):
+            candidate = best[c - w] + p
+            if candidate > best[c] + 1e-15:
+                best[c] = candidate
+                row[c] = True
+
+    # reconstruct
+    c = max(range(resolution + 1), key=lambda k: best[k])
+    selected: list[int] = []
+    for i in range(n - 1, -1, -1):
+        if taken[i][c]:
+            selected.append(i)
+            c -= scaled[i]
+    selected.reverse()
+    return MkpSolution(selected=tuple(selected),
+                       objective=sum(profits[i] for i in selected),
+                       optimal=True, notes="dp")
+
+
+def collapses_to_single_constraint(instance: MkpInstance) -> bool:
+    """True when one constraint row dominates all others.
+
+    Row ``a`` dominates row ``b`` if ``a`` has >= weight for every item
+    and <= capacity; then satisfying ``a`` implies satisfying ``b``.
+    """
+    rows = instance.weights
+    if len(rows) <= 1:
+        return True
+    for a, cap_a in zip(rows, instance.capacities):
+        if all(
+            cap_a <= cap_b + 1e-12
+            and all(wa >= wb - 1e-12 for wa, wb in zip(a, b))
+            for b, cap_b in zip(rows, instance.capacities)
+        ):
+            return True
+    return False
+
+
+def solve_mkp_dp(instance: MkpInstance,
+                 resolution: int = 10_000) -> MkpSolution | None:
+    """DP path for MKP instances that collapse to one constraint.
+
+    Returns ``None`` when no single row dominates (the caller should use
+    branch-and-bound instead).
+    """
+    if not collapses_to_single_constraint(instance):
+        return None
+    rows = instance.weights
+    if not rows:
+        return solve_knapsack_dp(instance.profits,
+                                 [0.0] * len(instance.profits),
+                                 capacity=1.0, resolution=resolution)
+    # pick the dominating row
+    for idx, (row, cap) in enumerate(zip(rows, instance.capacities)):
+        if all(
+            cap <= cap_b + 1e-12
+            and all(wa >= wb - 1e-12 for wa, wb in zip(row, b))
+            for b, cap_b in zip(rows, instance.capacities)
+        ):
+            solution = solve_knapsack_dp(instance.profits, list(row), cap,
+                                         resolution=resolution)
+            return MkpSolution(selected=solution.selected,
+                               objective=solution.objective,
+                               optimal=solution.optimal,
+                               notes=f"dp-row-{idx}")
+    return None

@@ -1,0 +1,106 @@
+"""Exact solver for S/C Opt Order on small graphs (test oracle).
+
+The paper notes (§V-B footnote) that an exact ILP for the ordering
+subproblem carries O(n³) variables and is too slow for real-time use; it
+is, however, perfect for *testing*: on small graphs we can compute the true
+minimum average memory usage and measure how far MA-DFS lands from it.
+
+This solver runs a Held-Karp-style dynamic program over antichains:
+states are *downsets* (sets of already-executed nodes closed under
+ancestors), transitions append one ready node, and the cost of executing a
+node at step ``t`` is the combined size of flagged nodes resident during
+step ``t``. Complexity is O(2^n · n); practical to n ≈ 18.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import ValidationError
+from repro.graph.dag import DependencyGraph
+
+_MAX_NODES = 18
+
+
+def minimum_average_memory_order(graph: DependencyGraph,
+                                 flagged: Iterable[str],
+                                 ) -> tuple[list[str], float]:
+    """Optimal order minimizing average memory usage; exact but exponential.
+
+    Returns ``(order, average_memory_usage)``. The cost model matches
+    :func:`repro.core.residency.average_memory_usage`: a flagged node
+    occupies memory from the step *after* it executes until its last
+    consumer executes (duration = last-consumer position − own position,
+    size-weighted, divided by n).
+    """
+    nodes = graph.nodes()
+    n = len(nodes)
+    if n > _MAX_NODES:
+        raise ValidationError(
+            f"exact order solver limited to {_MAX_NODES} nodes, got {n}")
+    graph.validate()
+    flagged = set(flagged)
+
+    index = {v: i for i, v in enumerate(nodes)}
+    parent_mask = [0] * n
+    child_mask = [0] * n
+    for producer, consumer in graph.edges():
+        parent_mask[index[consumer]] |= 1 << index[producer]
+        child_mask[index[producer]] |= 1 << index[consumer]
+    sizes = [graph.size_of(v) if v in nodes else 0.0 for v in nodes]
+    flagged_bits = 0
+    for v in flagged:
+        flagged_bits |= 1 << index[v]
+
+    full = (1 << n) - 1
+
+    def resident_weight(done: int) -> float:
+        """Combined size of flagged nodes executed but not yet released."""
+        total = 0.0
+        live = done & flagged_bits
+        while live:
+            bit = live & -live
+            i = bit.bit_length() - 1
+            if child_mask[i] & ~done:  # some consumer still pending
+                total += sizes[i]
+            live ^= bit
+        return total
+
+    # DP over downsets: best[mask] = minimal summed residency cost to have
+    # executed exactly `mask`. Masks are processed by popcount so every
+    # predecessor value is final before it is extended.
+    best: dict[int, float] = {0: 0.0}
+    parent_choice: dict[int, int] = {}
+    by_count: dict[int, set[int]] = {0: {0}}
+    for count in range(n):
+        for mask in by_count.get(count, ()):
+            base_cost = best[mask]
+            for i in range(n):
+                bit = 1 << i
+                if mask & bit:
+                    continue
+                if parent_mask[i] & ~mask:
+                    continue  # not ready
+                new_mask = mask | bit
+                # Cost of this step: flagged residents after i executes.
+                # The average-memory formula charges each flagged node for
+                # the steps between its execution and its last consumer's,
+                # which is exactly "resident with a pending consumer" at
+                # every post-execution state.
+                step_cost = resident_weight(new_mask)
+                candidate = base_cost + step_cost
+                if candidate < best.get(new_mask, float("inf")) - 1e-15:
+                    best[new_mask] = candidate
+                    parent_choice[new_mask] = i
+                    by_count.setdefault(count + 1, set()).add(new_mask)
+
+    # Reconstruct the order.
+    order_indices: list[int] = []
+    mask = full
+    while mask:
+        i = parent_choice[mask]
+        order_indices.append(i)
+        mask ^= 1 << i
+    order_indices.reverse()
+    order = [nodes[i] for i in order_indices]
+    return order, best[full] / n

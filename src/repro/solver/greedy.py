@@ -1,0 +1,57 @@
+"""Greedy MKP heuristics.
+
+These serve two roles: warm starts for the branch-and-bound solver, and the
+paper's Greedy / Ratio-based selection baselines (§VI-A), which flag nodes in
+a fixed scan order whenever doing so keeps every constraint satisfied.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.solver.mkp import MkpInstance
+
+
+def _scan(instance: MkpInstance, order: Sequence[int]) -> list[int]:
+    """Take items in ``order`` whenever they still fit every constraint."""
+    residual = list(instance.capacities)
+    taken: list[int] = []
+    for item in order:
+        if all(instance.weights[x][item] <= residual[x] + 1e-9
+               for x in range(len(residual))):
+            for x in range(len(residual)):
+                residual[x] -= instance.weights[x][item]
+            taken.append(item)
+    return taken
+
+
+def greedy_mkp(instance: MkpInstance,
+               order: Sequence[int] | None = None) -> list[int]:
+    """Greedy scan in the given order (default: item index order).
+
+    This mirrors the paper's *Greedy* baseline: iterate through nodes in
+    execution order and flag each one if that does not violate the memory
+    constraint.
+    """
+    if order is None:
+        order = range(instance.n_items)
+    return _scan(instance, list(order))
+
+
+def greedy_mkp_by_density(instance: MkpInstance) -> list[int]:
+    """Greedy scan by profit density (profit / total normalized weight).
+
+    The *Ratio-based selection* baseline [Xin et al.] prioritizes items with
+    a high speedup-score-to-size ratio.
+    """
+    def density(item: int) -> float:
+        load = 0.0
+        for row, cap in zip(instance.weights, instance.capacities):
+            if cap > 0:
+                load += row[item] / cap
+            elif row[item] > 0:
+                return 0.0
+        return instance.profits[item] / load if load > 0 else float("inf")
+
+    order = sorted(range(instance.n_items), key=density, reverse=True)
+    return _scan(instance, order)

@@ -1,0 +1,112 @@
+"""ASCII chart primitives for terminal reports.
+
+Pure-text rendering with no plotting dependencies: horizontal bar charts
+(optionally grouped, for Figure 9/12-style method comparisons) and a
+columns-of-dots line chart (for the scale/memory sweeps of Figures 10/11).
+All renderers return a string; callers print or embed it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+
+_BLOCK = "█"
+_POINT_MARKS = "ox+*#@"
+
+
+def _scaled(value: float, maximum: float, width: int) -> int:
+    if maximum <= 0:
+        return 0
+    return max(0, round(width * value / maximum))
+
+
+def bar_chart(values: dict[str, float], width: int = 48,
+              unit: str = "") -> str:
+    """One horizontal bar per entry, labels left, values right."""
+    if not values:
+        raise ValidationError("bar_chart needs at least one value")
+    if any(v < 0 for v in values.values()):
+        raise ValidationError("bar_chart values must be >= 0")
+    label_width = max(len(label) for label in values)
+    maximum = max(values.values())
+    lines = []
+    for label, value in values.items():
+        bar = _BLOCK * _scaled(value, maximum, width)
+        lines.append(f"{label:<{label_width}} |{bar:<{width}} "
+                     f"{value:,.3g}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(groups: dict[str, dict[str, float]],
+                      width: int = 48, unit: str = "") -> str:
+    """Figure-9-style grouping: one block of bars per group.
+
+    ``groups`` maps group label → {series label → value}; scaling is
+    global so bars are comparable across groups.
+    """
+    if not groups:
+        raise ValidationError("grouped_bar_chart needs at least one group")
+    all_values = [v for series in groups.values() for v in series.values()]
+    if not all_values:
+        raise ValidationError("grouped_bar_chart needs non-empty groups")
+    if any(v < 0 for v in all_values):
+        raise ValidationError("values must be >= 0")
+    maximum = max(all_values)
+    label_width = max(len(label) for series in groups.values()
+                      for label in series)
+    lines = []
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for label, value in series.items():
+            bar = _BLOCK * _scaled(value, maximum, width)
+            lines.append(f"  {label:<{label_width}} |{bar:<{width}} "
+                         f"{value:,.3g}{unit}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def line_chart(x_labels: list[str], series: dict[str, list[float]],
+               height: int = 12, width_per_point: int = 8) -> str:
+    """Multi-series point chart over shared categorical x positions.
+
+    Each series gets a distinct mark; a legend follows the plot. Y is
+    scaled to the global max across series.
+    """
+    if not x_labels:
+        raise ValidationError("line_chart needs x positions")
+    if not series:
+        raise ValidationError("line_chart needs at least one series")
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ValidationError(
+                f"series {name!r} has {len(values)} points, expected "
+                f"{len(x_labels)}")
+        if any(v < 0 for v in values):
+            raise ValidationError("line_chart values must be >= 0")
+    maximum = max(max(values) for values in series.values())
+    if maximum <= 0:
+        maximum = 1.0
+
+    plot_width = width_per_point * len(x_labels)
+    grid = [[" "] * plot_width for _ in range(height)]
+    marks = {}
+    for i, (name, values) in enumerate(series.items()):
+        mark = _POINT_MARKS[i % len(_POINT_MARKS)]
+        marks[name] = mark
+        for j, value in enumerate(values):
+            row = height - 1 - _scaled(value, maximum, height - 1)
+            col = j * width_per_point + width_per_point // 2
+            grid[row][col] = mark
+
+    lines = []
+    for r, row in enumerate(grid):
+        y_value = maximum * (height - 1 - r) / (height - 1)
+        lines.append(f"{y_value:>9,.3g} |{''.join(row)}")
+    axis = "-" * plot_width
+    lines.append(f"{'':>9} +{axis}")
+    labels_row = "".join(
+        f"{label:^{width_per_point}}" for label in x_labels)
+    lines.append(f"{'':>10}{labels_row}")
+    legend = "  ".join(f"{mark}={name}" for name, mark in marks.items())
+    lines.append(f"{'':>10}{legend}")
+    return "\n".join(lines)

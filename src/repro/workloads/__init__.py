@@ -1,0 +1,31 @@
+"""Workload construction: the paper's five TPC-DS workloads, laptop-scale
+TPC-DS/TPC-H-like data generators for the MiniDB, and the synthetic
+workload generator of §VI-H."""
+
+from repro.workloads.five_workloads import (
+    WORKLOAD_NAMES,
+    WORKLOAD_SUMMARY,
+    build_five_workloads,
+    build_workload,
+)
+from repro.workloads.generator import (
+    GeneratedWorkloadConfig,
+    generate_workload,
+)
+from repro.workloads.sizes import TPCDS_100GB_TABLE_SIZES_GB
+from repro.workloads.tpcds import generate_tpcds_tables, tpcds_schemas
+from repro.workloads.tpch import TPCH_Q8_JOIN_SQL, generate_tpch_tables
+
+__all__ = [
+    "WORKLOAD_NAMES",
+    "WORKLOAD_SUMMARY",
+    "build_workload",
+    "build_five_workloads",
+    "GeneratedWorkloadConfig",
+    "generate_workload",
+    "TPCDS_100GB_TABLE_SIZES_GB",
+    "tpcds_schemas",
+    "generate_tpcds_tables",
+    "generate_tpch_tables",
+    "TPCH_Q8_JOIN_SQL",
+]

@@ -1,0 +1,48 @@
+"""Operator-sequence corpus for the generator's Markov chain.
+
+The paper trains its Markov chain "on the same query set" (TPC-DS and
+Spider) to decide node operations. This embedded corpus encodes the
+operator chains of representative TPC-DS query shapes (star joins feeding
+aggregations, rollup reports over shared intermediates) and Spider-style
+short analytic queries (filter/aggregate over one or two tables). Only the
+transition statistics matter — the chain samples operation labels, not
+actual SQL.
+"""
+
+from __future__ import annotations
+
+#: One entry per query: the operator chain from base-table scan to output.
+OPERATION_SEQUENCES: tuple[tuple[str, ...], ...] = (
+    # TPC-DS report-style: fact scan, star joins, filter, aggregate
+    ("SCAN", "JOIN", "JOIN", "FILTER", "AGG"),
+    ("SCAN", "JOIN", "JOIN", "JOIN", "AGG"),
+    ("SCAN", "FILTER", "JOIN", "AGG", "SORT"),
+    ("SCAN", "JOIN", "FILTER", "JOIN", "AGG", "SORT"),
+    ("SCAN", "JOIN", "JOIN", "JOIN", "FILTER", "AGG"),
+    ("SCAN", "JOIN", "AGG", "JOIN", "AGG"),
+    ("SCAN", "FILTER", "JOIN", "JOIN", "AGG"),
+    ("SCAN", "JOIN", "JOIN", "AGG", "FILTER"),
+    ("SCAN", "JOIN", "PROJECT", "AGG"),
+    ("SCAN", "JOIN", "JOIN", "PROJECT", "FILTER", "AGG"),
+    # multi-channel sales analyses (union of channel subplans)
+    ("SCAN", "JOIN", "AGG", "UNION", "AGG"),
+    ("SCAN", "JOIN", "FILTER", "UNION", "AGG", "SORT"),
+    ("SCAN", "FILTER", "UNION", "JOIN", "AGG"),
+    # intermediate-heavy shapes (CTE-like reuse)
+    ("SCAN", "JOIN", "JOIN", "AGG", "JOIN", "AGG"),
+    ("SCAN", "JOIN", "AGG", "FILTER", "JOIN", "AGG", "SORT"),
+    ("SCAN", "JOIN", "JOIN", "JOIN", "AGG", "JOIN", "FILTER"),
+    # Spider-style short analytics
+    ("SCAN", "FILTER", "AGG"),
+    ("SCAN", "AGG"),
+    ("SCAN", "FILTER", "PROJECT"),
+    ("SCAN", "JOIN", "FILTER"),
+    ("SCAN", "JOIN", "AGG"),
+    ("SCAN", "FILTER", "SORT", "LIMIT"),
+    ("SCAN", "JOIN", "PROJECT", "SORT", "LIMIT"),
+    ("SCAN", "PROJECT", "AGG", "SORT"),
+    ("SCAN", "JOIN", "JOIN", "PROJECT"),
+    ("SCAN", "FILTER", "JOIN", "PROJECT", "AGG"),
+    ("SCAN", "AGG", "FILTER"),
+    ("SCAN", "JOIN", "FILTER", "AGG", "LIMIT"),
+)

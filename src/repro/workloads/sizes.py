@@ -1,0 +1,51 @@
+"""TPC-DS table-size census at scale factor 100 (≈100 GB total).
+
+The workload generator samples the sizes of source nodes — nodes reading
+directly from base tables — "from table sizes in the 100GB TPC-DS dataset"
+(paper §VI-A). These figures are the approximate on-disk sizes of the
+standard TPC-DS tables at SF=100; exact values vary by format, but only the
+*distribution* (three dominant fact tables, a long tail of small
+dimensions) matters to the generator.
+"""
+
+from __future__ import annotations
+
+TPCDS_100GB_TABLE_SIZES_GB: dict[str, float] = {
+    "store_sales": 36.4,
+    "catalog_sales": 19.2,
+    "web_sales": 9.8,
+    "inventory": 5.1,
+    "store_returns": 3.1,
+    "catalog_returns": 1.5,
+    "web_returns": 0.9,
+    "customer_demographics": 0.8,
+    "customer": 0.9,
+    "customer_address": 0.3,
+    "item": 0.06,
+    "date_dim": 0.01,
+    "time_dim": 0.01,
+    "promotion": 0.002,
+    "household_demographics": 0.001,
+    "store": 0.001,
+    "web_site": 0.0005,
+    "web_page": 0.0005,
+    "call_center": 0.0003,
+    "catalog_page": 0.003,
+    "warehouse": 0.0002,
+    "ship_mode": 0.0001,
+    "reason": 0.0001,
+    "income_band": 0.0001,
+}
+
+#: Fraction of the total dataset held by the three partitionable fact
+#: tables (store_sales, catalog_sales, web_sales) — the tables the paper's
+#: TPC-DSp variant partitions by year.
+FACT_TABLES: tuple[str, ...] = ("store_sales", "catalog_sales", "web_sales")
+
+
+def scaled_table_sizes(scale_gb: float) -> dict[str, float]:
+    """Census rescaled so the total is ``scale_gb``."""
+    total = sum(TPCDS_100GB_TABLE_SIZES_GB.values())
+    factor = scale_gb / total
+    return {name: size * factor
+            for name, size in TPCDS_100GB_TABLE_SIZES_GB.items()}

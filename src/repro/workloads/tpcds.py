@@ -1,0 +1,199 @@
+"""Laptop-scale TPC-DS-like star schema generator for the MiniDB.
+
+Generates the tables the five workloads' SQL variants and the examples
+touch: the three channel fact tables plus return tables and the common
+dimensions, with row counts proportioned like the real TPC-DS census
+(:mod:`repro.workloads.sizes`) but scaled to laptop-friendly bytes. All
+keys are int64; values are seeded-deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db.schema import TableSchema
+from repro.db.table import Table
+from repro.errors import ValidationError
+from repro.workloads.sizes import scaled_table_sizes
+
+_GB = 1024.0 ** 3
+
+#: Columns per generated table (all int64/float64; ~8 bytes per cell).
+_TABLE_COLUMNS: dict[str, list[tuple[str, str]]] = {
+    "store_sales": [
+        ("ss_item_sk", "int"), ("ss_store_sk", "int"),
+        ("ss_customer_sk", "int"), ("ss_sold_date_sk", "int"),
+        ("ss_quantity", "int"), ("ss_sales_price", "float"),
+        ("ss_net_profit", "float"),
+    ],
+    "catalog_sales": [
+        ("cs_item_sk", "int"), ("cs_call_center_sk", "int"),
+        ("cs_customer_sk", "int"), ("cs_sold_date_sk", "int"),
+        ("cs_quantity", "int"), ("cs_sales_price", "float"),
+        ("cs_net_profit", "float"),
+    ],
+    "web_sales": [
+        ("ws_item_sk", "int"), ("ws_web_site_sk", "int"),
+        ("ws_customer_sk", "int"), ("ws_sold_date_sk", "int"),
+        ("ws_quantity", "int"), ("ws_sales_price", "float"),
+        ("ws_net_profit", "float"),
+    ],
+    "store_returns": [
+        ("sr_item_sk", "int"), ("sr_customer_sk", "int"),
+        ("sr_returned_date_sk", "int"), ("sr_return_quantity", "int"),
+        ("sr_return_amt", "float"),
+    ],
+    "catalog_returns": [
+        ("cr_item_sk", "int"), ("cr_customer_sk", "int"),
+        ("cr_returned_date_sk", "int"), ("cr_return_quantity", "int"),
+        ("cr_return_amt", "float"),
+    ],
+    "web_returns": [
+        ("wr_item_sk", "int"), ("wr_customer_sk", "int"),
+        ("wr_returned_date_sk", "int"), ("wr_return_quantity", "int"),
+        ("wr_return_amt", "float"),
+    ],
+    "date_dim": [
+        ("d_date_sk", "int"), ("d_year", "int"), ("d_moy", "int"),
+        ("d_week_seq", "int"),
+    ],
+    "item": [
+        ("i_item_sk", "int"), ("i_category_id", "int"),
+        ("i_brand_id", "int"), ("i_manufact_id", "int"),
+        ("i_current_price", "float"),
+    ],
+    "customer": [
+        ("c_customer_sk", "int"), ("c_current_addr_sk", "int"),
+        ("c_birth_year", "int"),
+    ],
+    "customer_address": [
+        ("ca_address_sk", "int"), ("ca_state_id", "int"),
+        ("ca_gmt_offset", "int"),
+    ],
+    "store": [("s_store_sk", "int"), ("s_state_id", "int")],
+    "promotion": [("p_promo_sk", "int"), ("p_channel_id", "int")],
+}
+
+#: Cardinality anchors (rows) for dimension tables; facts scale with bytes.
+_DIMENSION_ROWS = {
+    "date_dim": 2556,      # 7 years of days
+    "item": 2000,
+    "customer": 5000,
+    "customer_address": 2500,
+    "store": 40,
+    "promotion": 100,
+}
+
+_N_YEARS = 7
+_FIRST_YEAR = 1998
+
+
+def tpcds_schemas() -> dict[str, TableSchema]:
+    """Schemas for every generated table."""
+    return {name: TableSchema.make(name, columns)
+            for name, columns in _TABLE_COLUMNS.items()}
+
+
+def _row_bytes(name: str) -> int:
+    return 8 * len(_TABLE_COLUMNS[name])
+
+
+def _generate_fact(name: str, rows: int, rng: np.random.Generator,
+                   date_rows: int) -> Table:
+    prefix = {"store_sales": "ss", "catalog_sales": "cs",
+              "web_sales": "ws"}[name]
+    channel_dim = {"store_sales": ("ss_store_sk", 40),
+                   "catalog_sales": ("cs_call_center_sk", 12),
+                   "web_sales": ("ws_web_site_sk", 24)}[name]
+    dim_col, dim_card = channel_dim
+    return Table({
+        f"{prefix}_item_sk": rng.integers(0, 2000, rows),
+        dim_col: rng.integers(0, dim_card, rows),
+        f"{prefix}_customer_sk": rng.integers(0, 5000, rows),
+        f"{prefix}_sold_date_sk": rng.integers(0, date_rows, rows),
+        f"{prefix}_quantity": rng.integers(1, 100, rows),
+        f"{prefix}_sales_price": rng.uniform(0.5, 300.0, rows),
+        f"{prefix}_net_profit": rng.normal(12.0, 40.0, rows),
+    })
+
+
+def _generate_returns(name: str, rows: int, rng: np.random.Generator,
+                      date_rows: int) -> Table:
+    prefix = {"store_returns": "sr", "catalog_returns": "cr",
+              "web_returns": "wr"}[name]
+    return Table({
+        f"{prefix}_item_sk": rng.integers(0, 2000, rows),
+        f"{prefix}_customer_sk": rng.integers(0, 5000, rows),
+        f"{prefix}_returned_date_sk": rng.integers(0, date_rows, rows),
+        f"{prefix}_return_quantity": rng.integers(1, 20, rows),
+        f"{prefix}_return_amt": rng.uniform(0.5, 400.0, rows),
+    })
+
+
+def generate_tpcds_tables(scale_gb: float = 0.05,
+                          seed: int = 0) -> dict[str, Table]:
+    """Generate the full table set totalling roughly ``scale_gb``.
+
+    Fact and return tables get byte budgets proportional to the TPC-DS
+    census; dimensions use fixed realistic cardinalities (their byte share
+    is negligible, exactly as in real TPC-DS).
+    """
+    if scale_gb <= 0:
+        raise ValidationError("scale_gb must be > 0")
+    rng = np.random.default_rng(seed)
+    budgets = scaled_table_sizes(scale_gb)
+    date_rows = _DIMENSION_ROWS["date_dim"]
+    tables: dict[str, Table] = {}
+
+    for name in ("store_sales", "catalog_sales", "web_sales"):
+        rows = max(100, int(budgets[name] * _GB / _row_bytes(name)))
+        tables[name] = _generate_fact(name, rows, rng, date_rows)
+    for name in ("store_returns", "catalog_returns", "web_returns"):
+        rows = max(50, int(budgets[name] * _GB / _row_bytes(name)))
+        tables[name] = _generate_returns(name, rows, rng, date_rows)
+
+    years = _FIRST_YEAR + (np.arange(date_rows) * _N_YEARS) // date_rows
+    tables["date_dim"] = Table({
+        "d_date_sk": np.arange(date_rows),
+        "d_year": years,
+        "d_moy": 1 + (np.arange(date_rows) % 365) // 31,
+        "d_week_seq": np.arange(date_rows) // 7,
+    })
+    tables["item"] = Table({
+        "i_item_sk": np.arange(_DIMENSION_ROWS["item"]),
+        "i_category_id": rng.integers(0, 12, _DIMENSION_ROWS["item"]),
+        "i_brand_id": rng.integers(0, 120, _DIMENSION_ROWS["item"]),
+        "i_manufact_id": rng.integers(0, 60, _DIMENSION_ROWS["item"]),
+        "i_current_price": rng.uniform(0.5, 300.0,
+                                       _DIMENSION_ROWS["item"]),
+    })
+    tables["customer"] = Table({
+        "c_customer_sk": np.arange(_DIMENSION_ROWS["customer"]),
+        "c_current_addr_sk": rng.integers(
+            0, _DIMENSION_ROWS["customer_address"],
+            _DIMENSION_ROWS["customer"]),
+        "c_birth_year": rng.integers(1930, 2005,
+                                     _DIMENSION_ROWS["customer"]),
+    })
+    tables["customer_address"] = Table({
+        "ca_address_sk": np.arange(_DIMENSION_ROWS["customer_address"]),
+        "ca_state_id": rng.integers(0, 50,
+                                    _DIMENSION_ROWS["customer_address"]),
+        "ca_gmt_offset": rng.integers(-8, -4,
+                                      _DIMENSION_ROWS["customer_address"]),
+    })
+    tables["store"] = Table({
+        "s_store_sk": np.arange(_DIMENSION_ROWS["store"]),
+        "s_state_id": rng.integers(0, 50, _DIMENSION_ROWS["store"]),
+    })
+    tables["promotion"] = Table({
+        "p_promo_sk": np.arange(_DIMENSION_ROWS["promotion"]),
+        "p_channel_id": rng.integers(0, 3, _DIMENSION_ROWS["promotion"]),
+    })
+    return tables
+
+
+def load_tpcds(db, scale_gb: float = 0.05, seed: int = 0) -> None:
+    """Generate and register every table into a :class:`MiniDB`."""
+    for name, table in generate_tpcds_tables(scale_gb, seed).items():
+        db.register_table(name, table)

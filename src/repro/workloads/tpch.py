@@ -1,0 +1,78 @@
+"""TPC-H-like tables and the Q8 join used in the paper's Figure 3 study.
+
+§II-C measures the read/compute/write breakdown of CTAS statements joining
+``customer``, ``orders``, ``lineitem`` and ``nation`` (the four-table join
+inside TPC-H query #8) at several scales. This module generates those four
+tables at laptop-friendly scales and provides the join SQL, so the Figure 3
+benchmark measures real MiniDB execution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db.table import Table
+from repro.errors import ValidationError
+
+_GB = 1024.0 ** 3
+
+#: Byte-share of each table, approximating TPC-H proportions
+#: (lineitem ≈ 70 %, orders ≈ 24 %, customer ≈ 6 %, nation fixed 25 rows).
+_SHARES = {"lineitem": 0.70, "orders": 0.24, "customer": 0.06}
+_ROW_BYTES = {"lineitem": 8 * 6, "orders": 8 * 4, "customer": 8 * 3}
+
+#: The Figure 3 statement: three inner joins over the four tables.
+TPCH_Q8_JOIN_SQL = (
+    "SELECT l_orderkey, l_partkey, l_quantity, l_extendedprice, "
+    "l_discount, o_orderdate, o_totalprice, c_acctbal, n_regionkey "
+    "FROM lineitem "
+    "JOIN orders ON l_orderkey = o_orderkey "
+    "JOIN customer ON o_custkey = c_custkey "
+    "JOIN nation ON c_nationkey = n_nationkey"
+)
+
+
+def generate_tpch_tables(scale_gb: float = 0.05,
+                         seed: int = 0) -> dict[str, Table]:
+    """The four Q8 tables, totalling roughly ``scale_gb``."""
+    if scale_gb <= 0:
+        raise ValidationError("scale_gb must be > 0")
+    rng = np.random.default_rng(seed)
+    rows = {name: max(50, int(scale_gb * share * _GB / _ROW_BYTES[name]))
+            for name, share in _SHARES.items()}
+
+    n_customers = rows["customer"]
+    n_orders = rows["orders"]
+    customer = Table({
+        "c_custkey": np.arange(n_customers),
+        "c_nationkey": rng.integers(0, 25, n_customers),
+        "c_acctbal": rng.uniform(-999.0, 9999.0, n_customers),
+    })
+    orders = Table({
+        "o_orderkey": np.arange(n_orders),
+        "o_custkey": rng.integers(0, n_customers, n_orders),
+        "o_orderdate": rng.integers(0, 2556, n_orders),
+        "o_totalprice": rng.uniform(800.0, 500_000.0, n_orders),
+    })
+    n_lines = rows["lineitem"]
+    lineitem = Table({
+        "l_orderkey": rng.integers(0, n_orders, n_lines),
+        "l_partkey": rng.integers(0, 200_000, n_lines),
+        "l_quantity": rng.integers(1, 50, n_lines),
+        "l_extendedprice": rng.uniform(900.0, 105_000.0, n_lines),
+        "l_discount": rng.uniform(0.0, 0.1, n_lines),
+        "l_tax": rng.uniform(0.0, 0.08, n_lines),
+    })
+    nation = Table({
+        "n_nationkey": np.arange(25),
+        "n_regionkey": np.arange(25) % 5,
+        "n_comment_len": rng.integers(10, 100, 25),
+    })
+    return {"customer": customer, "orders": orders,
+            "lineitem": lineitem, "nation": nation}
+
+
+def load_tpch(db, scale_gb: float = 0.05, seed: int = 0) -> None:
+    """Generate and register the Q8 tables into a :class:`MiniDB`."""
+    for name, table in generate_tpch_tables(scale_gb, seed).items():
+        db.register_table(name, table)

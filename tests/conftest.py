@@ -1,0 +1,98 @@
+"""Shared fixtures: the paper's toy graphs and randomized instances."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.problem import ScProblem
+from repro.graph.dag import DependencyGraph
+
+
+def make_fig7_problem() -> ScProblem:
+    """Figure 7's toy instance.
+
+    Six nodes; ``v1`` and ``v3`` are the 100 GB nodes; with M = 100 GB the
+    best order (τ2: v4 before v3) allows flagging {v1, v3, v6} for the
+    paper's stated maximum score of 210, while a bad order caps at 120.
+    """
+    return ScProblem.from_tables(
+        edges=[("v1", "v2"), ("v1", "v4"), ("v2", "v3"), ("v3", "v5"),
+               ("v5", "v6")],
+        sizes={"v1": 100, "v2": 10, "v3": 100, "v4": 10, "v5": 10,
+               "v6": 10},
+        scores={"v1": 100, "v2": 10, "v3": 100, "v4": 10, "v5": 10,
+                "v6": 10},
+        memory_budget=100,
+    )
+
+
+def make_fig8_problem() -> ScProblem:
+    """Figure 8-shaped instance: tie-breaking between an unflagged large
+    branch (v2) and a flagged one (v3) decides whether v6 can be flagged.
+    """
+    return ScProblem.from_tables(
+        edges=[("v1", "v2"), ("v1", "v3"), ("v2", "v4"), ("v3", "v5"),
+               ("v5", "v6"), ("v4", "v7"), ("v6", "v7")],
+        sizes={"v1": 20, "v2": 100, "v3": 80, "v4": 80, "v5": 20,
+               "v6": 20, "v7": 100},
+        scores={"v1": 20, "v2": 100, "v3": 80, "v4": 80, "v5": 20,
+                "v6": 20, "v7": 100},
+        memory_budget=100,
+    )
+
+
+def make_random_problem(seed: int, n_nodes: int = 20,
+                        budget_fraction: float = 0.3) -> ScProblem:
+    """A random layered-DAG problem with positive sizes and scores."""
+    from repro.graph.generators import LayeredDagConfig, \
+        generate_layered_dag
+
+    rng = random.Random(seed)
+    graph = generate_layered_dag(
+        LayeredDagConfig(n_nodes=n_nodes,
+                         height_width_ratio=rng.choice([0.5, 1.0, 2.0]),
+                         max_outdegree=rng.randint(1, 4)),
+        seed=seed)
+    for node_id in graph.nodes():
+        node = graph.node(node_id)
+        node.size = rng.uniform(0.1, 10.0)
+        node.score = rng.uniform(0.0, 20.0)
+    budget = budget_fraction * graph.total_size()
+    return ScProblem(graph=graph, memory_budget=budget)
+
+
+@pytest.fixture
+def fig7_problem() -> ScProblem:
+    return make_fig7_problem()
+
+
+@pytest.fixture
+def fig8_problem() -> ScProblem:
+    return make_fig8_problem()
+
+
+@pytest.fixture
+def diamond_graph() -> DependencyGraph:
+    """a -> b, a -> c, b -> d, c -> d with distinct sizes."""
+    graph = DependencyGraph()
+    for node_id, size in (("a", 4.0), ("b", 2.0), ("c", 3.0), ("d", 1.0)):
+        graph.add_node(node_id, size=size, score=size)
+    graph.add_edge("a", "b")
+    graph.add_edge("a", "c")
+    graph.add_edge("b", "d")
+    graph.add_edge("c", "d")
+    return graph
+
+
+@pytest.fixture
+def chain_graph() -> DependencyGraph:
+    """a -> b -> c -> d."""
+    graph = DependencyGraph()
+    for node_id in "abcd":
+        graph.add_node(node_id, size=1.0, score=1.0)
+    graph.add_edge("a", "b")
+    graph.add_edge("b", "c")
+    graph.add_edge("c", "d")
+    return graph

@@ -1,0 +1,224 @@
+"""Tests for adaptive re-planning (repro.engine.adaptive) and the
+persistent metadata store (repro.metadata.store)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.optimizer import optimize
+from repro.core.plan import Plan
+from repro.core.problem import ScProblem
+from repro.engine.adaptive import AdaptiveController, sync_points
+from repro.errors import ValidationError
+from repro.graph.dag import DependencyGraph
+from repro.metadata.costmodel import DeviceProfile
+from repro.metadata.store import MetadataStore, RecurringPipeline
+from repro.core.speedup import compute_speedup_scores
+from tests.conftest import make_random_problem
+
+
+def chain_with_sizes(sizes: dict[str, float]) -> DependencyGraph:
+    graph = DependencyGraph()
+    names = list(sizes)
+    for name, size in sizes.items():
+        graph.add_node(name, size=size, compute_time=0.5)
+    for a, b in zip(names, names[1:]):
+        graph.add_edge(a, b)
+    compute_speedup_scores(graph, DeviceProfile())
+    return graph
+
+
+def diamond_graph() -> DependencyGraph:
+    graph = DependencyGraph()
+    for name, size in (("a", 1.0), ("b", 0.6), ("c", 0.6), ("d", 0.2)):
+        graph.add_node(name, size=size, compute_time=0.3)
+    graph.add_edge("a", "b")
+    graph.add_edge("a", "c")
+    graph.add_edge("b", "d")
+    graph.add_edge("c", "d")
+    compute_speedup_scores(graph, DeviceProfile())
+    return graph
+
+
+class TestSyncPoints:
+    def test_unflagged_plan_syncs_everywhere(self):
+        graph = diamond_graph()
+        plan = Plan.unoptimized(["a", "b", "c", "d"])
+        assert sync_points(graph, plan) == [0, 1, 2, 3]
+
+    def test_flagged_residency_blocks_sync(self):
+        graph = diamond_graph()
+        plan = Plan.make(["a", "b", "c", "d"], {"a"})
+        # 'a' stays resident until 'c' executes (last consumer)
+        assert sync_points(graph, plan) == [2, 3]
+
+    def test_last_position_always_sync(self):
+        graph = diamond_graph()
+        plan = Plan.make(["a", "b", "c", "d"], {"a", "b", "c"})
+        assert sync_points(graph, plan)[-1] == 3
+
+
+class TestAdaptiveController:
+    def test_no_drift_no_replans(self):
+        graph = diamond_graph()
+        truth = {v: graph.size_of(v) for v in graph.nodes()}
+        controller = AdaptiveController()
+        report = controller.refresh(graph, truth, memory_budget=1.2)
+        assert report.n_replans == 0
+        assert set(report.executed) == set(graph.nodes())
+
+    def test_no_drift_matches_oracle(self):
+        graph = diamond_graph()
+        truth = {v: graph.size_of(v) for v in graph.nodes()}
+        controller = AdaptiveController()
+        report = controller.refresh(graph, truth, memory_budget=1.2)
+        oracle = controller.oracle_time(graph, truth, memory_budget=1.2)
+        assert report.total_time == pytest.approx(oracle, rel=0.15)
+
+    def test_uniform_growth_triggers_replan(self):
+        graph = chain_with_sizes(
+            {f"n{i}": 0.5 for i in range(8)})
+        truth = {v: 3.0 * graph.size_of(v) for v in graph.nodes()}
+        controller = AdaptiveController(drift_threshold=0.25)
+        report = controller.refresh(graph, truth, memory_budget=1.0)
+        assert report.n_replans >= 1
+
+    def test_adaptive_beats_stale_on_shrunk_data(self):
+        # Estimates say nodes are too big to flag (3 GB vs a 1 GB budget);
+        # reality shrank 6x, so everything is flaggable. The stale plan
+        # flags nothing; the adaptive one discovers the shrink after its
+        # first epoch and re-plans the rest with flags.
+        graph = chain_with_sizes({f"n{i}": 3.0 for i in range(10)})
+        truth = {v: graph.size_of(v) / 6.0 for v in graph.nodes()}
+        controller = AdaptiveController(drift_threshold=0.25,
+                                        check_window=2)
+        adaptive = controller.refresh(graph, truth, memory_budget=1.0)
+        stale = controller.stale_time(graph, truth, memory_budget=1.0)
+        assert adaptive.n_replans >= 1
+        assert adaptive.total_time < stale
+
+    def test_adaptive_not_much_worse_than_stale_on_growth(self):
+        # when reality grew past the budget both plans degrade to spilled
+        # writes; adaptation must not add meaningful overhead
+        graph = chain_with_sizes({f"n{i}": 0.5 for i in range(10)})
+        truth = {v: 3.0 * graph.size_of(v) for v in graph.nodes()}
+        controller = AdaptiveController(drift_threshold=0.25)
+        adaptive = controller.refresh(graph, truth, memory_budget=1.0)
+        stale = controller.stale_time(graph, truth, memory_budget=1.0)
+        assert adaptive.total_time <= stale * 1.10
+
+    def test_missing_truth_rejected(self):
+        graph = diamond_graph()
+        with pytest.raises(ValidationError):
+            AdaptiveController().refresh(graph, {"a": 1.0},
+                                         memory_budget=1.0)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValidationError):
+            AdaptiveController(drift_threshold=0.0)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValidationError):
+            AdaptiveController(check_window=0)
+
+    def test_segments_cover_plan_once(self):
+        graph = diamond_graph()
+        truth = {v: 1.5 * graph.size_of(v) for v in graph.nodes()}
+        report = AdaptiveController(drift_threshold=0.1).refresh(
+            graph, truth, memory_budget=1.2)
+        executed = report.executed
+        assert sorted(executed) == sorted(graph.nodes())
+        assert len(executed) == len(set(executed))
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000), factor=st.floats(0.3, 3.0))
+    def test_random_graphs_complete_and_bounded(self, seed, factor):
+        problem = make_random_problem(seed, n_nodes=10,
+                                      budget_fraction=0.3)
+        graph = problem.graph
+        truth = {v: factor * max(graph.size_of(v), 1e-6)
+                 for v in graph.nodes()}
+        controller = AdaptiveController(drift_threshold=0.2)
+        report = controller.refresh(graph, truth,
+                                    memory_budget=problem.memory_budget)
+        assert sorted(report.executed) == sorted(graph.nodes())
+        assert report.total_time > 0
+
+
+class TestMetadataStore:
+    def test_round_trip(self, tmp_path):
+        store = MetadataStore(tmp_path)
+        store.record_run("daily", {"a": 1.0, "b": 2.0}, {"a": 0.5})
+        loaded = store.load("daily")
+        assert loaded.node("a").estimated_size == pytest.approx(1.0)
+        assert loaded.node("a").estimated_compute_time == pytest.approx(0.5)
+
+    def test_accumulates_over_runs(self, tmp_path):
+        store = MetadataStore(tmp_path)
+        store.record_run("w", {"a": 1.0})
+        store.record_run("w", {"a": 3.0})
+        assert store.load("w").node("a").estimated_size == \
+            pytest.approx(2.0)
+
+    def test_lists_workloads(self, tmp_path):
+        store = MetadataStore(tmp_path)
+        store.record_run("w1", {"a": 1.0})
+        store.record_run("w2", {"a": 1.0})
+        assert store.workloads() == ["w1", "w2"]
+        assert "w1" in store
+        assert "w3" not in store
+
+    def test_invalid_names_rejected(self, tmp_path):
+        store = MetadataStore(tmp_path)
+        for bad in ("", "../evil", ".hidden"):
+            with pytest.raises(ValidationError):
+                store.record_run(bad, {"a": 1.0})
+
+    def test_corrupt_file_raises(self, tmp_path):
+        store = MetadataStore(tmp_path)
+        (tmp_path / "w.json").write_text("{not json")
+        with pytest.raises(ValidationError):
+            store.load("w")
+
+    def test_missing_workload_is_empty(self, tmp_path):
+        store = MetadataStore(tmp_path)
+        metadata = store.load("never_seen")
+        assert "x" not in metadata
+
+    def test_drift_report(self, tmp_path):
+        store = MetadataStore(tmp_path)
+        for size in (1.0, 1.0, 1.0, 2.0, 2.0):
+            store.record_run("w", {"a": size, "b": 1.0})
+        report = store.drift("w", recent=2)
+        assert report.node_ratios["a"] == pytest.approx(2.0, rel=0.2)
+        assert report.node_ratios["b"] == pytest.approx(1.0)
+        assert report.drifted_nodes(threshold=0.25) == ["a"]
+        assert report.max_drift > 0.5
+
+    def test_drift_needs_history(self, tmp_path):
+        store = MetadataStore(tmp_path)
+        store.record_run("w", {"a": 1.0})
+        assert store.drift("w").node_ratios == {}
+
+
+class TestRecurringPipeline:
+    def test_plan_uses_observed_sizes(self, tmp_path):
+        graph = diamond_graph()
+        store = MetadataStore(tmp_path)
+        pipeline = RecurringPipeline(store=store, workload="w")
+
+        # first run: cold start plans from the graph's own estimates
+        plan1 = pipeline.plan(graph, memory_budget=1.2)
+        assert set(plan1.order) == set(graph.nodes())
+
+        # observe much larger 'a'; next plan must not flag it
+        pipeline.observe({v: (10.0 if v == "a" else graph.size_of(v))
+                          for v in graph.nodes()})
+        plan2 = pipeline.plan(graph, memory_budget=1.2)
+        assert "a" not in plan2.flagged
+
+    def test_observe_then_drift(self, tmp_path):
+        pipeline = RecurringPipeline(store=MetadataStore(tmp_path),
+                                     workload="w")
+        for factor in (1.0, 1.0, 1.0, 1.6, 1.6):
+            pipeline.observe({"a": factor})
+        assert pipeline.drift(recent=2).max_drift > 0.3

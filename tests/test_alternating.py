@@ -1,0 +1,96 @@
+"""Tests for the alternating optimization loop (Algorithm 2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.alternating import AlternatingOptimizer
+from repro.core.residency import is_feasible, peak_memory_usage
+from repro.errors import ValidationError
+from repro.graph.topo import is_topological_order
+from tests.conftest import make_fig7_problem, make_random_problem
+
+
+class TestFigure7:
+    def test_reaches_the_paper_maximum(self):
+        problem = make_fig7_problem()
+        result = AlternatingOptimizer().optimize(problem)
+        assert result.total_score == 210
+        assert {"v1", "v3", "v6"} <= result.plan.flagged
+        assert result.peak_memory <= 100 + 1e-9
+
+    def test_order_executes_v4_before_v3(self):
+        problem = make_fig7_problem()
+        plan = AlternatingOptimizer().optimize(problem).plan
+        assert plan.position("v4") < plan.position("v3")
+
+
+class TestLoopMechanics:
+    def test_score_monotone_across_iterations(self):
+        for seed in range(8):
+            problem = make_random_problem(seed, n_nodes=20)
+            result = AlternatingOptimizer().optimize(problem)
+            scores = [record.total_score for record in result.history]
+            assert scores == sorted(scores)
+
+    def test_selection_only_runs_one_round(self):
+        problem = make_fig7_problem()
+        optimizer = AlternatingOptimizer(order_solver=None)
+        result = optimizer.optimize(problem)
+        assert result.stop_reason in ("selection_only", "no_improvement")
+        assert result.iterations <= 1
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValidationError):
+            AlternatingOptimizer(convergence="banana")
+        with pytest.raises(ValidationError):
+            AlternatingOptimizer(max_iterations=0)
+
+    def test_invalid_initial_order_rejected(self):
+        problem = make_fig7_problem()
+        with pytest.raises(ValidationError):
+            AlternatingOptimizer().optimize(
+                problem,
+                initial_order=["v6", "v5", "v4", "v3", "v2", "v1"])
+
+    def test_convergence_by_score_also_works(self):
+        problem = make_fig7_problem()
+        result = AlternatingOptimizer(convergence="score").optimize(problem)
+        assert result.total_score == 210
+
+    def test_empty_flag_set_when_budget_zero(self):
+        problem = make_random_problem(3, n_nodes=10, budget_fraction=0.0)
+        result = AlternatingOptimizer().optimize(problem)
+        assert result.plan.flagged == frozenset()
+        assert result.stop_reason == "no_improvement"
+
+
+class TestInfeasibleOrderHandling:
+    def test_infeasible_new_order_keeps_previous(self):
+        problem = make_fig7_problem()
+
+        def bad_order_solver(prob, flagged):
+            # a valid topological order that breaks the flag set
+            return ["v1", "v2", "v3", "v5", "v6", "v4"]
+
+        optimizer = AlternatingOptimizer(order_solver=bad_order_solver)
+        result = optimizer.optimize(problem)
+        assert result.stop_reason in ("order_infeasible",
+                                      "order_not_improved")
+        # the returned plan is still feasible
+        assert peak_memory_usage(problem.graph, result.plan.order,
+                                 result.plan.flagged) <= 100 + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       budget_fraction=st.floats(0.0, 0.9))
+def test_property_result_always_feasible(seed, budget_fraction):
+    problem = make_random_problem(seed, n_nodes=16,
+                                  budget_fraction=budget_fraction)
+    result = AlternatingOptimizer().optimize(problem)
+    plan = result.plan
+    assert is_topological_order(problem.graph, list(plan.order))
+    assert is_feasible(problem.graph, plan.order, plan.flagged,
+                       problem.memory_budget)
+    assert result.total_score == pytest.approx(
+        problem.total_score(plan.flagged))

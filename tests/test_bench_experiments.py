@@ -1,0 +1,95 @@
+"""Smoke tests for the experiment drivers (tiny parameterizations).
+
+The full-size assertions live in ``benchmarks/``; here we verify every
+driver runs, returns well-formed rows, and renders.
+"""
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.report import format_table
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"],
+                            [["a", 1.0], ["long-name", 123456.0]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "123,456" in text
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) <= 2  # header/body aligned
+
+    def test_cell_formats(self):
+        from repro.bench.report import format_cell
+
+        assert format_cell(0.0) == "0"
+        assert format_cell(3.14159) == "3.142"
+        assert format_cell(12.345) == "12.3"
+        assert format_cell(10_000.0) == "10,000"
+        assert format_cell("x") == "x"
+
+
+class TestDrivers:
+    def test_fig2(self):
+        result = experiments.fig2_query_type_breakdown()
+        assert len(result.rows) == 10
+        assert result.render()
+
+    def test_fig3_tiny(self):
+        result = experiments.fig3_io_breakdown(scales_gb=(0.002,))
+        assert len(result.rows) == 1
+        shares = result.rows[0][1:]
+        assert sum(shares) == pytest.approx(100.0)
+
+    def test_table3(self):
+        result = experiments.table3_workload_summary()
+        assert len(result.rows) == 5
+
+    def test_fig9_small_scale(self):
+        result = experiments.fig9_end_to_end(scale_gb=10.0)
+        assert len(result.rows) == 10  # 2 datasets x 5 workloads
+        for series in result.data["times"].values():
+            assert series["sc"] <= series["none"] * 1.0001
+
+    def test_fig10_two_scales(self):
+        result = experiments.fig10_scales(scales_gb=(10, 25))
+        assert len(result.rows) == 4
+        assert all(value > 1.0
+                   for value in result.data["speedups"].values())
+
+    def test_fig11_two_points(self):
+        result = experiments.fig11_memory_sweep(
+            scale_gb=10.0, fractions=(0.008, 0.064))
+        speedups = result.data["speedups"]
+        assert speedups[0.064]["spare"] >= speedups[0.008]["spare"] - 0.05
+
+    def test_table4_two_points(self):
+        result = experiments.table4_latency_breakdown(
+            scale_gb=10.0, fractions=(0.008, 0.064))
+        assert len(result.rows) == 6  # 2 datasets x 3 metrics
+
+    def test_fig12_small_scale(self):
+        result = experiments.fig12_ablation(scale_gb=10.0)
+        totals = result.data["totals"]
+        for dataset in ("TPC-DS", "TPC-DSp"):
+            assert totals[(dataset, "mkp+madfs")] < \
+                totals[(dataset, "none")]
+
+    def test_table5_three_clusters(self):
+        result = experiments.table5_cluster_scaling(
+            scale_gb=10.0, worker_counts=(1, 2, 3))
+        totals = result.data["totals"]
+        assert totals[1][0] > totals[3][0]
+
+    def test_fig13_tiny(self):
+        result = experiments.fig13_optimization_time(
+            dag_sizes=(10, 25), n_dags=1)
+        assert set(result.data["times"]) == {10, 25}
+
+    def test_fig14_tiny(self):
+        result = experiments.fig14_parameter_sweep(n_dags=2)
+        assert ("DAG size", "100") in result.data["normalized"]
+        assert result.data["normalized"][("DAG size", "100")] == \
+            pytest.approx(1.0)

@@ -1,0 +1,55 @@
+"""Validity tests for the fractional MKP bounds."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.solver.bounds import (
+    fractional_bound_per_row,
+    fractional_knapsack_bound,
+)
+from repro.solver.brute import solve_mkp_brute_force
+from repro.solver.mkp import MkpInstance
+
+
+def test_single_row_bound_matches_fractional_optimum():
+    profits = [60.0, 100.0, 120.0]
+    row = [10.0, 20.0, 30.0]
+    # capacity 50: items 1+2 fully, 2/3 of item 0? Dantzig: take by ratio
+    # ratios: 6, 5, 4 -> item0 full (10), item1 full (20), item2 20/30
+    bound = fractional_knapsack_bound(profits, row, 50.0, [0, 1, 2])
+    assert abs(bound - (60 + 100 + 120 * (20 / 30))) < 1e-9
+
+
+def test_zero_weight_items_counted_for_free():
+    profits = [5.0, 7.0]
+    row = [0.0, 3.0]
+    bound = fractional_knapsack_bound(profits, row, 0.0, [0, 1])
+    assert bound == 5.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_property_bound_dominates_optimum(seed):
+    """Any valid upper bound must be >= the true optimum."""
+    rng = random.Random(seed)
+    n = rng.randint(1, 9)
+    k = rng.randint(1, 4)
+    profits = [rng.uniform(0, 10) for _ in range(n)]
+    weights = [
+        [rng.choice([0.0, rng.uniform(0.1, 5.0)]) for _ in range(n)]
+        for _ in range(k)
+    ]
+    capacities = [rng.uniform(0.5, 8.0) for _ in range(k)]
+    inst = MkpInstance.from_lists(profits, weights, capacities)
+    optimum = solve_mkp_brute_force(inst).objective
+
+    order = list(range(n))
+    bound = fractional_bound_per_row(profits, weights, capacities, order, 0)
+    assert bound >= optimum - 1e-9
+
+    # per-row bounds individually dominate as well
+    for row, capacity in zip(weights, capacities):
+        row_bound = fractional_knapsack_bound(profits, row, capacity,
+                                              order)
+        assert row_bound >= optimum - 1e-9

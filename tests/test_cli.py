@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph.io import save_graph
+from tests.conftest import make_fig7_problem
+
+
+@pytest.fixture
+def graph_file(tmp_path) -> str:
+    path = str(tmp_path / "graph.json")
+    save_graph(make_fig7_problem().graph, path)
+    return path
+
+
+class TestOptimize:
+    def test_prints_plan(self, graph_file, capsys):
+        assert main(["optimize", graph_file, "--memory", "100"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["total_score"] == 210
+        assert set(payload["plan"]["flagged"]) >= {"v1", "v3", "v6"}
+
+    def test_writes_file(self, graph_file, tmp_path):
+        out = str(tmp_path / "plan.json")
+        main(["optimize", graph_file, "--memory", "100",
+              "--output", out])
+        payload = json.loads(open(out).read())
+        assert payload["plan"]["order"][0] == "v1"
+
+    def test_method_choice_enforced(self, graph_file):
+        with pytest.raises(SystemExit):
+            main(["optimize", graph_file, "--memory", "100",
+                  "--method", "nope"])
+
+
+class TestSimulate:
+    def test_summary_output(self, graph_file, capsys):
+        assert main(["simulate", graph_file, "--memory", "100",
+                     "--gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "end-to-end time" in out
+        assert "peak catalog use" in out
+        assert "|" in out  # gantt bars
+
+    def test_lru_method(self, graph_file, capsys):
+        assert main(["simulate", graph_file, "--memory", "100",
+                     "--method", "lru"]) == 0
+        assert "lru" in capsys.readouterr().out
+
+
+class TestWorkload:
+    def test_emits_graph_json(self, capsys):
+        assert main(["workload", "io2", "--scale-gb", "10"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["nodes"]) == 19
+
+    def test_partitioned_smaller(self, tmp_path):
+        regular = str(tmp_path / "r.json")
+        partitioned = str(tmp_path / "p.json")
+        main(["workload", "io1", "--output", regular])
+        main(["workload", "io1", "--partitioned", "--output",
+              partitioned])
+        size_r = sum(n["size"] for n in
+                     json.loads(open(regular).read())["nodes"])
+        size_p = sum(n["size"] for n in
+                     json.loads(open(partitioned).read())["nodes"])
+        assert size_p < size_r
+
+
+class TestBench:
+    def test_runs_fig2(self, capsys):
+        assert main(["bench", "fig2"]) == 0
+        assert "transformation" in capsys.readouterr().out
+
+
+class TestExplain:
+    def test_explains_fig7_plan(self, graph_file, capsys):
+        assert main(["explain", graph_file, "--memory", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "kept" in out
+        assert "occupancy" in out
+
+    def test_no_profile_flag(self, graph_file, capsys):
+        assert main(["explain", graph_file, "--memory", "100",
+                     "--no-profile"]) == 0
+        assert "occupancy" not in capsys.readouterr().out
+
+
+class TestPipeline:
+    @pytest.fixture
+    def spec_file(self, tmp_path) -> str:
+        from repro.etl.spec import JobSpec, PipelineSpec
+
+        spec = PipelineSpec(name="nightly", jobs=[
+            JobSpec("extract", kind="extract", output_gb=0.5,
+                    external_input_gb=1.0, compute_s=1.0),
+            JobSpec("transform", inputs=("extract",), output_gb=0.4,
+                    compute_s=2.0),
+            JobSpec("load", kind="load", inputs=("transform",),
+                    output_gb=0.4, compute_s=0.5),
+        ])
+        path = str(tmp_path / "spec.json")
+        with open(path, "w") as handle:
+            handle.write(spec.to_json())
+        return path
+
+    def test_prints_schedule(self, spec_file, capsys):
+        assert main(["pipeline", spec_file, "--memory", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "nightly" in out
+        assert "storage" in out
+
+    def test_simulate_flag(self, spec_file, capsys):
+        assert main(["pipeline", spec_file, "--memory", "1.0",
+                     "--simulate"]) == 0
+        assert "end-to-end" in capsys.readouterr().out

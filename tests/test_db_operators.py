@@ -1,0 +1,190 @@
+"""Tests for relational operators, including a nested-loop join oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db.expressions import AggSpec, BinOp, Col, Lit, Not, Projection
+from repro.db.operators import (
+    aggregate,
+    filter_rows,
+    hash_join,
+    limit,
+    project,
+    sort_rows,
+    union_all,
+)
+from repro.db.table import Table
+from repro.errors import SqlError, ValidationError
+
+
+@pytest.fixture
+def sales() -> Table:
+    return Table({
+        "item": np.array([1, 2, 1, 3, 2, 1]),
+        "qty": np.array([5, 3, 2, 7, 1, 4]),
+        "price": np.array([10.0, 20.0, 10.0, 5.0, 20.0, 10.0]),
+    })
+
+
+@pytest.fixture
+def items() -> Table:
+    return Table({
+        "item": np.array([1, 2, 3, 4]),
+        "category": np.array([100, 200, 100, 300]),
+    })
+
+
+class TestFilterProject:
+    def test_filter(self, sales):
+        result = filter_rows(sales, BinOp(">", Col("qty"), Lit(3)))
+        assert result["qty"].tolist() == [5, 7, 4]
+
+    def test_filter_requires_boolean(self, sales):
+        with pytest.raises(SqlError):
+            filter_rows(sales, Col("qty"))
+
+    def test_compound_predicate(self, sales):
+        predicate = BinOp("AND",
+                          BinOp(">", Col("qty"), Lit(1)),
+                          Not(BinOp("=", Col("item"), Lit(1))))
+        result = filter_rows(sales, predicate)
+        assert result["item"].tolist() == [2, 3]
+
+    def test_project_expressions(self, sales):
+        result = project(sales, [
+            Projection(Col("item"), "item"),
+            Projection(BinOp("*", Col("qty"), Col("price")), "revenue"),
+        ])
+        assert result["revenue"].tolist() == [50.0, 60.0, 20.0, 35.0,
+                                              20.0, 40.0]
+
+    def test_duplicate_aliases_rejected(self, sales):
+        with pytest.raises(SqlError):
+            project(sales, [Projection(Col("item"), "x"),
+                            Projection(Col("qty"), "x")])
+
+
+class TestJoin:
+    def test_inner_join_matches_oracle(self, sales, items):
+        joined = hash_join(sales, items, "item", "item")
+        assert len(joined) == 6
+        expected_categories = {1: 100, 2: 200, 3: 100}
+        for row in joined.to_pylist():
+            assert row["category"] == expected_categories[row["item"]]
+
+    def test_unmatched_rows_dropped(self, items):
+        left = Table({"item": np.array([1, 99])})
+        joined = hash_join(left, items, "item", "item")
+        assert joined["item"].tolist() == [1]
+
+    def test_duplicate_right_keys_expand(self):
+        left = Table({"k": np.array([1])})
+        right = Table({"k": np.array([1, 1, 1]),
+                       "v": np.array([7, 8, 9])})
+        joined = hash_join(left, right, "k", "k")
+        assert sorted(joined["v"].tolist()) == [7, 8, 9]
+
+    def test_collision_renamed_with_prefix(self):
+        left = Table({"k": np.array([1]), "v": np.array([1])})
+        right = Table({"k": np.array([1]), "v": np.array([2])})
+        joined = hash_join(left, right, "k", "k", right_prefix="r")
+        assert joined["v"].tolist() == [1]
+        assert joined["r_v"].tolist() == [2]
+
+    def test_dtype_mismatch_rejected(self):
+        left = Table({"k": np.array([1])})
+        right = Table({"k": np.array(["a"])})
+        with pytest.raises(SqlError):
+            hash_join(left, right, "k", "k")
+
+
+class TestAggregate:
+    def test_group_by_sums(self, sales):
+        result = aggregate(sales, ["item"], [
+            AggSpec("SUM", Col("qty"), "total_qty"),
+            AggSpec("COUNT", None, "n"),
+            AggSpec("AVG", Col("price"), "avg_price"),
+            AggSpec("MIN", Col("qty"), "min_qty"),
+            AggSpec("MAX", Col("qty"), "max_qty"),
+        ])
+        by_item = {row["item"]: row for row in result.to_pylist()}
+        assert by_item[1]["total_qty"] == 11
+        assert by_item[1]["n"] == 3
+        assert by_item[1]["avg_price"] == pytest.approx(10.0)
+        assert by_item[2]["min_qty"] == 1
+        assert by_item[2]["max_qty"] == 3
+
+    def test_global_aggregate(self, sales):
+        result = aggregate(sales, [], [
+            AggSpec("SUM", Col("qty"), "total"),
+            AggSpec("COUNT", None, "n"),
+        ])
+        assert len(result) == 1
+        assert result["total"].tolist() == [22]
+        assert result["n"].tolist() == [6]
+
+    def test_empty_input(self, sales):
+        empty = sales.mask(np.zeros(len(sales), dtype=bool))
+        grouped = aggregate(empty, ["item"],
+                            [AggSpec("SUM", Col("qty"), "s")])
+        assert len(grouped) == 0
+        overall = aggregate(empty, [], [AggSpec("COUNT", None, "n")])
+        assert overall["n"].tolist() == [0]
+
+    def test_multi_key_grouping(self, sales):
+        result = aggregate(sales, ["item", "price"],
+                           [AggSpec("COUNT", None, "n")])
+        assert len(result) == 3
+
+    def test_agg_validation(self):
+        with pytest.raises(ValidationError):
+            AggSpec("MEDIAN", Col("x"), "m")
+        with pytest.raises(ValidationError):
+            AggSpec("SUM", None, "s")
+
+
+class TestSortLimitUnion:
+    def test_sort_multi_key(self, sales):
+        result = sort_rows(sales, ["item", "qty"], [True, False])
+        assert result["item"].tolist() == [1, 1, 1, 2, 2, 3]
+        assert result["qty"].tolist()[:3] == [5, 4, 2]
+
+    def test_sort_validation(self, sales):
+        with pytest.raises(ValidationError):
+            sort_rows(sales, [])
+        with pytest.raises(ValidationError):
+            sort_rows(sales, ["item"], [True, False])
+
+    def test_limit(self, sales):
+        assert len(limit(sales, 2)) == 2
+        assert len(limit(sales, 100)) == 6
+        with pytest.raises(ValidationError):
+            limit(sales, -1)
+
+    def test_union_all(self, sales):
+        doubled = union_all([sales, sales])
+        assert len(doubled) == 12
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), n_left=st.integers(0, 30),
+       n_right=st.integers(0, 30), key_space=st.integers(1, 8))
+def test_property_join_matches_nested_loop(seed, n_left, n_right,
+                                           key_space):
+    rng = np.random.default_rng(seed)
+    left = Table({"k": rng.integers(0, key_space, n_left),
+                  "lv": rng.integers(0, 100, n_left)})
+    right = Table({"k": rng.integers(0, key_space, n_right),
+                   "rv": rng.integers(0, 100, n_right)})
+    joined = hash_join(left, right, "k", "k")
+
+    expected = sorted(
+        (int(lk), int(lv), int(rv))
+        for lk, lv in zip(left["k"], left["lv"])
+        for rk, rv in zip(right["k"], right["rv"])
+        if lk == rk
+    )
+    actual = sorted(
+        (row["k"], row["lv"], row["rv"]) for row in joined.to_pylist())
+    assert actual == expected

@@ -1,0 +1,121 @@
+"""Tests for the SQL tokenizer and parser."""
+
+import pytest
+
+from repro.db.expressions import BinOp, Col, Lit
+from repro.db.sql import parse_select, tokenize
+from repro.errors import SqlError
+
+
+class TestTokenizer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select Item from T")
+        assert tokens[0].kind == "keyword" and tokens[0].value == "SELECT"
+        assert tokens[1].kind == "ident" and tokens[1].value == "Item"
+
+    def test_numbers_and_strings(self):
+        tokens = tokenize("1 2.5 'hello world'")
+        assert [t.kind for t in tokens[:-1]] == ["number", "number",
+                                                 "string"]
+
+    def test_not_equals_variants(self):
+        assert tokenize("a != b")[1].value == "!="
+        assert tokenize("a <> b")[1].value == "!="
+
+    def test_unknown_character(self):
+        with pytest.raises(SqlError) as excinfo:
+            tokenize("a ; b")
+        assert excinfo.value.position == 2
+
+
+class TestParserStructure:
+    def test_basic_select(self):
+        stmt = parse_select("SELECT a, b AS bee FROM t")
+        assert stmt.from_table == "t"
+        assert [item.alias for item in stmt.projections] == ["a", "bee"]
+        assert not stmt.star
+
+    def test_star(self):
+        stmt = parse_select("SELECT * FROM t")
+        assert stmt.star
+
+    def test_joins(self):
+        stmt = parse_select(
+            "SELECT a FROM t JOIN u ON t.k = u.k JOIN v ON u.j = v.j")
+        assert stmt.referenced_tables() == ["t", "u", "v"]
+        assert stmt.joins[0].left == Col("k", "t")
+        assert stmt.joins[1].right == Col("j", "v")
+
+    def test_where_group_order_limit(self):
+        stmt = parse_select(
+            "SELECT a, SUM(b) AS s FROM t WHERE a > 3 AND b < 2 "
+            "GROUP BY a ORDER BY s DESC, a LIMIT 7")
+        assert stmt.where is not None
+        assert stmt.group_by == [Col("a")]
+        assert stmt.order_by == [("s", False), ("a", True)]
+        assert stmt.limit == 7
+
+    def test_aggregates(self):
+        stmt = parse_select(
+            "SELECT COUNT(*), SUM(x * 2) AS double_x, AVG(y) FROM t")
+        aliases = [item.alias for item in stmt.projections]
+        assert aliases[0] == "count_star"
+        assert aliases[1] == "double_x"
+        assert aliases[2] == "avg_y"
+        assert stmt.projections[0].agg.arg is None
+
+    def test_implicit_alias(self):
+        stmt = parse_select("SELECT a + 1 FROM t")
+        assert stmt.projections[0].alias == "col0"
+
+
+class TestExpressionPrecedence:
+    def test_arithmetic_before_comparison(self):
+        stmt = parse_select("SELECT a FROM t WHERE a + 1 * 2 > 3")
+        where = stmt.where
+        assert isinstance(where, BinOp) and where.op == ">"
+        left = where.left
+        assert left.op == "+"
+        assert left.right.op == "*"
+
+    def test_and_binds_tighter_than_or(self):
+        stmt = parse_select(
+            "SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert stmt.where.op == "OR"
+        assert stmt.where.right.op == "AND"
+
+    def test_parentheses_override(self):
+        stmt = parse_select(
+            "SELECT a FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert stmt.where.op == "AND"
+
+    def test_unary_minus(self):
+        stmt = parse_select("SELECT a FROM t WHERE a > -5")
+        right = stmt.where.right
+        assert isinstance(right, BinOp) and right.op == "-"
+        assert right.left == Lit(0)
+
+    def test_string_literal(self):
+        stmt = parse_select("SELECT a FROM t WHERE name = 'bob'")
+        assert stmt.where.right == Lit("bob")
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize("sql", [
+        "SELECT FROM t",
+        "SELECT a",
+        "SELECT a FROM t JOIN",
+        "SELECT a FROM t JOIN u ON a",
+        "SELECT a FROM t WHERE",
+        "SELECT a FROM t GROUP a",
+        "SELECT a FROM t LIMIT x",
+        "SELECT a FROM t extra garbage (",
+        "SELECT COUNT( FROM t",
+    ])
+    def test_malformed_statements(self, sql):
+        with pytest.raises(SqlError):
+            parse_select(sql)
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(SqlError):
+            parse_select("SELECT a FROM t )")

@@ -1,0 +1,121 @@
+"""Tests for the columnar Table."""
+
+import numpy as np
+import pytest
+
+from repro.db.schema import ColumnSpec, TableSchema
+from repro.db.table import Table
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table({
+        "id": np.array([1, 2, 3, 4]),
+        "value": np.array([10.0, 20.0, 30.0, 40.0]),
+    })
+
+
+class TestConstruction:
+    def test_requires_columns(self):
+        with pytest.raises(ValidationError):
+            Table({})
+
+    def test_rejects_ragged_columns(self):
+        with pytest.raises(ValidationError):
+            Table({"a": np.array([1, 2]), "b": np.array([1])})
+
+    def test_rejects_2d_columns(self):
+        with pytest.raises(ValidationError):
+            Table({"a": np.zeros((2, 2))})
+
+    def test_from_dict(self):
+        table = Table.from_dict({"x": [1, 2, 3]})
+        assert len(table) == 3
+        assert table["x"].tolist() == [1, 2, 3]
+
+
+class TestAccess:
+    def test_unknown_column(self, table):
+        with pytest.raises(ValidationError, match="unknown column"):
+            table["ghost"]
+
+    def test_nbytes_and_size(self, table):
+        assert table.nbytes == 4 * 8 * 2
+        assert table.size_gb == pytest.approx(table.nbytes / 1024 ** 3)
+
+    def test_contains(self, table):
+        assert "id" in table
+        assert "ghost" not in table
+
+
+class TestTransforms:
+    def test_take_and_mask(self, table):
+        taken = table.take(np.array([2, 0]))
+        assert taken["id"].tolist() == [3, 1]
+        masked = table.mask(table["value"] > 15.0)
+        assert masked["id"].tolist() == [2, 3, 4]
+
+    def test_mask_validation(self, table):
+        with pytest.raises(ValidationError):
+            table.mask(np.array([1, 0, 1, 0]))
+        with pytest.raises(ValidationError):
+            table.mask(np.array([True, False]))
+
+    def test_select_and_rename(self, table):
+        sub = table.select(["value"])
+        assert sub.column_names == ["value"]
+        renamed = table.rename({"id": "key"})
+        assert renamed.column_names == ["key", "value"]
+
+    def test_with_column(self, table):
+        extended = table.with_column("flag", np.array([0, 1, 0, 1]))
+        assert extended.n_columns == 3
+        assert table.n_columns == 2  # original untouched
+        with pytest.raises(ValidationError):
+            table.with_column("bad", np.array([1]))
+
+    def test_concat(self, table):
+        doubled = Table.concat([table, table])
+        assert len(doubled) == 8
+        with pytest.raises(ValidationError):
+            Table.concat([table, table.select(["id"])])
+        with pytest.raises(ValidationError):
+            Table.concat([])
+
+    def test_equals(self, table):
+        assert table.equals(Table(table.columns()))
+        assert not table.equals(table.select(["id"]))
+
+    def test_to_pylist(self, table):
+        rows = table.to_pylist()
+        assert rows[0] == {"id": 1, "value": 10.0}
+
+
+class TestSchema:
+    def test_column_spec_types(self):
+        with pytest.raises(ValidationError):
+            ColumnSpec("a", "decimal")
+        assert ColumnSpec("a", "int").dtype == np.dtype(np.int64)
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValidationError):
+            TableSchema.make("t", [("a", "int"), ("a", "float")])
+
+    def test_validate_table(self, table):
+        schema = TableSchema.make("t", [("id", "int"),
+                                        ("value", "float")])
+        schema.validate_table(table)
+        bad_schema = TableSchema.make("t", [("id", "float"),
+                                            ("value", "float")])
+        with pytest.raises(ValidationError):
+            bad_schema.validate_table(table)
+        missing = TableSchema.make("t", [("nope", "int")])
+        with pytest.raises(ValidationError):
+            missing.validate_table(table)
+
+    def test_column_lookup(self):
+        schema = TableSchema.make("t", [("a", "int")])
+        assert schema.column("a").type == "int"
+        with pytest.raises(ValidationError):
+            schema.column("b")

@@ -1,0 +1,144 @@
+"""Tests for generic pipeline specs and the S/C bridge (repro.etl)."""
+
+import pytest
+
+from repro.errors import ValidationError, WorkloadError
+from repro.etl.planner import (
+    plan_pipeline,
+    simulate_schedule,
+    spec_to_graph,
+)
+from repro.etl.spec import JobSpec, PipelineSpec
+
+
+def daily_etl() -> PipelineSpec:
+    """Extract → clean/enrich transforms → aggregate → loads."""
+    return PipelineSpec(name="daily_etl", jobs=[
+        JobSpec("extract_orders", kind="extract", output_gb=0.8,
+                external_input_gb=1.2, compute_s=2.0),
+        JobSpec("extract_users", kind="extract", output_gb=0.3,
+                external_input_gb=0.5, compute_s=1.0),
+        JobSpec("clean_orders", inputs=("extract_orders",),
+                output_gb=0.7, compute_s=3.0),
+        JobSpec("enrich", inputs=("clean_orders", "extract_users"),
+                output_gb=0.9, compute_s=4.0),
+        JobSpec("daily_totals", inputs=("enrich",), output_gb=0.05,
+                compute_s=2.0),
+        JobSpec("load_warehouse", kind="load", inputs=("enrich",),
+                output_gb=0.9, compute_s=1.0),
+        JobSpec("load_dashboard", kind="load", inputs=("daily_totals",),
+                output_gb=0.05, compute_s=0.5),
+    ])
+
+
+class TestJobSpec:
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValidationError):
+            JobSpec("x", kind="mystery")
+
+    def test_rejects_self_dependency(self):
+        with pytest.raises(ValidationError):
+            JobSpec("x", inputs=("x",))
+
+    def test_rejects_negative_sizes(self):
+        with pytest.raises(ValidationError):
+            JobSpec("x", output_gb=-1.0)
+
+    def test_loads_not_cacheable(self):
+        assert not JobSpec("x", kind="load").cacheable
+        assert JobSpec("x", kind="transform").cacheable
+        assert JobSpec("x", kind="extract").cacheable
+
+
+class TestPipelineSpec:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(WorkloadError):
+            PipelineSpec(name="p", jobs=[JobSpec("a"), JobSpec("a")])
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(WorkloadError):
+            PipelineSpec(name="p", jobs=[JobSpec("a", inputs=("ghost",))])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(WorkloadError):
+            PipelineSpec(name="p", jobs=[
+                JobSpec("a", inputs=("b",)), JobSpec("b", inputs=("a",))])
+
+    def test_json_round_trip(self):
+        spec = daily_etl()
+        clone = PipelineSpec.from_json(spec.to_json())
+        assert clone.to_dict() == spec.to_dict()
+
+    def test_malformed_payload(self):
+        with pytest.raises(ValidationError):
+            PipelineSpec.from_dict({"jobs": []})
+
+    def test_consumers(self):
+        spec = daily_etl()
+        assert spec.consumers("enrich") == ["daily_totals",
+                                            "load_warehouse"]
+
+    def test_add_job_revalidates(self):
+        spec = daily_etl()
+        bigger = spec.add_job(JobSpec("extra", inputs=("enrich",)))
+        assert "extra" in bigger.job_ids
+        with pytest.raises(WorkloadError):
+            spec.add_job(JobSpec("bad", inputs=("ghost",)))
+
+
+class TestSpecToGraph:
+    def test_structure_mirrors_spec(self):
+        graph = spec_to_graph(daily_etl())
+        assert graph.n == 7
+        assert graph.has_edge("enrich", "load_warehouse")
+        assert graph.node("extract_orders").meta["base_input_gb"] == \
+            pytest.approx(1.2)
+
+    def test_loads_get_zero_score(self):
+        graph = spec_to_graph(daily_etl())
+        assert graph.score_of("load_warehouse") == 0.0
+        assert graph.score_of("load_dashboard") == 0.0
+        assert graph.score_of("enrich") > 0.0
+
+
+class TestPlanPipeline:
+    def test_schedule_is_complete_permutation(self):
+        schedule = plan_pipeline(daily_etl(), memory_budget_gb=1.0)
+        assert sorted(schedule.order) == sorted(daily_etl().job_ids)
+
+    def test_loads_never_in_memory(self):
+        schedule = plan_pipeline(daily_etl(), memory_budget_gb=10.0)
+        assert "load_warehouse" not in schedule.flagged
+        assert "load_dashboard" not in schedule.flagged
+
+    def test_generous_budget_flags_transforms(self):
+        schedule = plan_pipeline(daily_etl(), memory_budget_gb=10.0)
+        assert "enrich" in schedule.flagged
+
+    def test_zero_budget_flags_nothing(self):
+        schedule = plan_pipeline(daily_etl(), memory_budget_gb=0.0)
+        assert not schedule.flagged
+
+    def test_release_points_follow_last_consumer(self):
+        schedule = plan_pipeline(daily_etl(), memory_budget_gb=10.0)
+        step = schedule.step("enrich")
+        assert step.kept_in_memory
+        order = schedule.order
+        # released only after both of its consumers ran
+        release_pos = order.index(step.release_after)
+        assert release_pos >= order.index("daily_totals")
+        assert release_pos >= order.index("load_warehouse")
+
+    def test_render_mentions_memory(self):
+        schedule = plan_pipeline(daily_etl(), memory_budget_gb=10.0)
+        text = schedule.render()
+        assert "MEMORY" in text
+        assert "daily_etl" in text
+
+    def test_simulate_schedule_beats_unoptimized(self):
+        spec = daily_etl()
+        optimized = plan_pipeline(spec, memory_budget_gb=1.0)
+        baseline = plan_pipeline(spec, memory_budget_gb=0.0)
+        fast = simulate_schedule(spec, optimized)
+        slow = simulate_schedule(spec, baseline)
+        assert fast.end_to_end_time < slow.end_to_end_time

@@ -1,0 +1,88 @@
+"""Expression evaluation details and the Controller's MiniDB path."""
+
+import numpy as np
+import pytest
+
+from repro.db.expressions import AggSpec, BinOp, Col, Lit, Not, Projection
+from repro.db.table import Table
+from repro.errors import SqlError, ValidationError
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table({
+        "x": np.array([1, 2, 3]),
+        "y": np.array([10.0, 20.0, 30.0]),
+        "flag": np.array([True, False, True]),
+    })
+
+
+class TestExpressions:
+    def test_literal_broadcast(self, table):
+        values = Lit(7).evaluate(table)
+        assert values.tolist() == [7, 7, 7]
+
+    def test_arithmetic(self, table):
+        expr = BinOp("/", BinOp("+", Col("y"), Lit(10.0)), Col("x"))
+        assert expr.evaluate(table).tolist() == [20.0, 15.0, 40.0 / 3]
+
+    def test_comparisons(self, table):
+        assert BinOp("<=", Col("x"), Lit(2)).evaluate(table).tolist() == \
+            [True, True, False]
+        assert BinOp("!=", Col("x"), Lit(2)).evaluate(table).tolist() == \
+            [True, False, True]
+
+    def test_boolean_connectives_require_booleans(self, table):
+        with pytest.raises(SqlError):
+            BinOp("AND", Col("x"), Col("flag")).evaluate(table)
+        with pytest.raises(SqlError):
+            Not(Col("x")).evaluate(table)
+
+    def test_not(self, table):
+        assert Not(Col("flag")).evaluate(table).tolist() == \
+            [False, True, False]
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValidationError):
+            BinOp("%", Col("x"), Lit(2))
+
+    def test_columns_collection(self):
+        expr = BinOp("+", BinOp("*", Col("a"), Col("b")), Lit(1))
+        assert expr.columns() == {"a", "b"}
+        assert AggSpec("SUM", Col("z"), "s").columns() == {"z"}
+        assert AggSpec("COUNT", None, "n").columns() == set()
+        assert Projection(Col("q"), "q").columns() == {"q"}
+
+    def test_col_display(self):
+        assert Col("c", "t").display() == "t.c"
+        assert Col("c").display() == "c"
+
+
+class TestControllerMiniDb:
+    def test_refresh_on_minidb(self, tmp_path):
+        from repro.db.engine import MiniDB, MvDefinition, SqlWorkload
+        from repro.engine.controller import Controller
+
+        db = MiniDB(str(tmp_path / "wh"))
+        rng = np.random.default_rng(3)
+        db.register_table("events", Table({
+            "user": rng.integers(0, 30, 30_000),
+            "amount": rng.uniform(0, 10, 30_000),
+        }))
+        workload = SqlWorkload(db=db, definitions=[
+            MvDefinition("mv_filtered",
+                         "SELECT user, amount FROM events "
+                         "WHERE amount > 1"),
+            MvDefinition("mv_by_user",
+                         "SELECT user, SUM(amount) AS spend "
+                         "FROM mv_filtered GROUP BY user"),
+        ])
+        workload.profile()
+
+        trace = Controller().refresh_on_minidb(workload, 0.01,
+                                               method="sc")
+        assert trace.method == "sc"
+        assert len(trace.nodes) == 2
+        assert db.catalog.persisted("mv_by_user")
+        result = db.table("mv_by_user")
+        assert len(result) == 30

@@ -1,0 +1,82 @@
+"""Tests for graph serialization and statistics."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.dag import DependencyGraph
+from repro.graph.io import (
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_dot,
+    graph_to_json,
+    load_graph,
+    save_graph,
+)
+from repro.graph.stats import dag_stats
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_everything(self, diamond_graph):
+        diamond_graph.node("a").op = "SCAN"
+        diamond_graph.node("b").sql = "SELECT 1"
+        diamond_graph.node("c").compute_time = 2.5
+        diamond_graph.node("d").meta["base_input_gb"] = 1.25
+
+        restored = graph_from_json(graph_to_json(diamond_graph))
+        assert restored.nodes() == diamond_graph.nodes()
+        assert restored.edges() == diamond_graph.edges()
+        assert restored.node("a").op == "SCAN"
+        assert restored.node("b").sql == "SELECT 1"
+        assert restored.node("c").compute_time == 2.5
+        assert restored.node("d").meta["base_input_gb"] == 1.25
+
+    def test_version_checked(self):
+        with pytest.raises(GraphError, match="version"):
+            graph_from_dict({"version": 99, "nodes": [], "edges": []})
+
+    def test_file_round_trip(self, tmp_path, diamond_graph):
+        path = str(tmp_path / "graph.json")
+        save_graph(diamond_graph, path)
+        restored = load_graph(path)
+        assert restored.edges() == diamond_graph.edges()
+
+    def test_cyclic_payload_rejected(self):
+        payload = graph_to_dict(
+            DependencyGraph.from_edges([("a", "b")]))
+        payload["edges"].append(["b", "a"])
+        with pytest.raises(Exception):
+            graph_from_dict(payload)
+
+
+class TestDot:
+    def test_flagged_nodes_highlighted(self, diamond_graph):
+        dot = graph_to_dot(diamond_graph, flagged={"b"})
+        assert '"a" -> "b"' in dot
+        assert "lightblue" in dot
+        assert dot.count("fillcolor") == 1
+
+
+class TestStats:
+    def test_diamond_stats(self, diamond_graph):
+        stats = dag_stats(diamond_graph)
+        assert stats.n_nodes == 4
+        assert stats.n_edges == 4
+        assert stats.height == 3
+        assert stats.width == 2
+        assert stats.n_sources == 1
+        assert stats.n_sinks == 1
+        assert stats.max_outdegree == 2
+        assert stats.total_size == pytest.approx(10.0)
+
+    def test_chain_stats(self, chain_graph):
+        stats = dag_stats(chain_graph)
+        assert stats.height == 4
+        assert stats.width == 1
+        assert stats.height_width_ratio == 4.0
+        assert stats.stage_stdev == 0.0
+
+    def test_as_dict_round_trip(self, chain_graph):
+        payload = dag_stats(chain_graph).as_dict()
+        assert payload["n_nodes"] == 4
+        assert payload["height"] == 4

@@ -1,0 +1,215 @@
+"""Tests for signed delta tables (repro.ivm.delta)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db.table import Table
+from repro.errors import ValidationError
+from repro.ivm.delta import (
+    SignedDelta,
+    WEIGHT_COLUMN,
+    apply_delta,
+    concat_deltas,
+)
+
+
+def make_table(**cols) -> Table:
+    return Table.from_dict(cols)
+
+
+class TestConstruction:
+    def test_from_inserts(self):
+        delta = SignedDelta.from_inserts(make_table(a=[1, 2], b=[3.0, 4.0]))
+        assert delta.n_changes == 2
+        assert delta.net_rows == 2
+        assert list(delta.weights) == [1, 1]
+
+    def test_from_deletes(self):
+        delta = SignedDelta.from_deletes(make_table(a=[1]))
+        assert delta.net_rows == -1
+        assert delta.n_changes == 1
+
+    def test_from_changes(self):
+        delta = SignedDelta.from_changes(make_table(a=[1, 2]),
+                                         make_table(a=[3]))
+        assert delta.net_rows == 1
+        assert delta.n_changes == 3
+
+    def test_weight_column_reserved(self):
+        with pytest.raises(ValidationError):
+            SignedDelta.from_inserts(
+                Table.from_dict({WEIGHT_COLUMN: [1]}))
+
+    def test_missing_weight_column_rejected(self):
+        with pytest.raises(ValidationError):
+            SignedDelta(make_table(a=[1]))
+
+    def test_float_weights_rejected(self):
+        table = make_table(a=[1]).with_column(
+            WEIGHT_COLUMN, np.array([1.5]))
+        with pytest.raises(ValidationError):
+            SignedDelta(table)
+
+    def test_empty(self):
+        delta = SignedDelta.empty(make_table(a=[1], b=["x"]))
+        assert delta.is_empty
+        assert delta.data_columns == ["a", "b"]
+
+
+class TestConsolidate:
+    def test_merges_duplicates(self):
+        delta = SignedDelta.from_inserts(make_table(a=[1, 1, 2]))
+        merged = delta.consolidate()
+        assert len(merged.table) == 2
+        rows = {r["a"]: r[WEIGHT_COLUMN]
+                for r in merged.table.to_pylist()}
+        assert rows == {1: 2, 2: 1}
+
+    def test_cancels_insert_delete_pairs(self):
+        delta = SignedDelta.from_changes(make_table(a=[1, 2]),
+                                         make_table(a=[1]))
+        merged = delta.consolidate()
+        assert len(merged.table) == 1
+        assert merged.table.to_pylist()[0]["a"] == 2
+
+    def test_empty_result(self):
+        delta = SignedDelta.from_changes(make_table(a=[5]),
+                                         make_table(a=[5]))
+        assert delta.consolidate().is_empty
+
+    def test_mixed_dtypes(self):
+        delta = SignedDelta.from_inserts(
+            make_table(k=["x", "x", "y"], v=[1, 1, 2]))
+        merged = delta.consolidate()
+        assert len(merged.table) == 2
+
+    def test_single_zero_weight_row(self):
+        table = make_table(a=[1]).with_column(
+            WEIGHT_COLUMN, np.array([0], dtype=np.int64))
+        assert SignedDelta(table).consolidate().is_empty
+
+
+class TestApplyDelta:
+    def test_insert(self):
+        table = make_table(a=[1, 2])
+        out = apply_delta(table, SignedDelta.from_inserts(make_table(a=[3])))
+        assert sorted(out["a"]) == [1, 2, 3]
+
+    def test_delete(self):
+        table = make_table(a=[1, 2, 3])
+        out = apply_delta(table, SignedDelta.from_deletes(make_table(a=[2])))
+        assert sorted(out["a"]) == [1, 3]
+
+    def test_delete_one_duplicate_copy(self):
+        table = make_table(a=[7, 7, 8])
+        out = apply_delta(table, SignedDelta.from_deletes(make_table(a=[7])))
+        assert sorted(out["a"]) == [7, 8]
+
+    def test_delete_missing_row_raises(self):
+        with pytest.raises(ValidationError):
+            apply_delta(make_table(a=[1]),
+                        SignedDelta.from_deletes(make_table(a=[9])))
+
+    def test_schema_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            apply_delta(make_table(a=[1]),
+                        SignedDelta.from_inserts(make_table(b=[1])))
+
+    def test_empty_delta_is_identity(self):
+        table = make_table(a=[1, 2])
+        out = apply_delta(table, SignedDelta.empty(table))
+        assert out.equals(table)
+
+    def test_column_order_preserved(self):
+        table = make_table(b=[1], a=[2])
+        out = apply_delta(table,
+                          SignedDelta.from_inserts(make_table(a=[4], b=[3])))
+        assert out.column_names == ["b", "a"]
+
+    def test_inverse_roundtrip(self):
+        table = make_table(a=[1, 2, 3], v=[10.0, 20.0, 30.0])
+        delta = SignedDelta.from_changes(make_table(a=[4], v=[40.0]),
+                                         make_table(a=[1], v=[10.0]))
+        forward = apply_delta(table, delta)
+        back = apply_delta(forward, delta.inverted())
+        assert sorted(back["a"]) == [1, 2, 3]
+
+
+class TestHelpers:
+    def test_scaled(self):
+        delta = SignedDelta.from_inserts(make_table(a=[1]))
+        assert delta.scaled(3).weights[0] == 3
+        assert delta.scaled(0).is_empty
+
+    def test_concat(self):
+        a = SignedDelta.from_inserts(make_table(a=[1]))
+        b = SignedDelta.from_deletes(make_table(a=[2]))
+        both = concat_deltas([a, b])
+        assert both.n_changes == 2
+
+    def test_concat_empty_list_raises(self):
+        with pytest.raises(ValidationError):
+            concat_deltas([])
+
+    def test_data_strips_weight(self):
+        delta = SignedDelta.from_inserts(make_table(a=[1]))
+        assert WEIGHT_COLUMN not in delta.data()
+
+
+@st.composite
+def _tables_and_deltas(draw):
+    """A base table plus a legal delta against it."""
+    n = draw(st.integers(min_value=0, max_value=12))
+    keys = draw(st.lists(st.integers(min_value=0, max_value=5),
+                         min_size=n, max_size=n))
+    vals = draw(st.lists(st.integers(min_value=-3, max_value=3),
+                         min_size=n, max_size=n))
+    table = Table.from_dict({"k": np.array(keys, dtype=np.int64),
+                             "v": np.array(vals, dtype=np.int64)})
+    n_ins = draw(st.integers(min_value=0, max_value=6))
+    ins_k = draw(st.lists(st.integers(min_value=0, max_value=5),
+                          min_size=n_ins, max_size=n_ins))
+    ins_v = draw(st.lists(st.integers(min_value=-3, max_value=3),
+                          min_size=n_ins, max_size=n_ins))
+    inserts = Table.from_dict({"k": np.array(ins_k, dtype=np.int64),
+                               "v": np.array(ins_v, dtype=np.int64)})
+    # deletes drawn from existing rows so the delta is always legal
+    del_count = draw(st.integers(min_value=0, max_value=n))
+    del_rows = sorted(draw(st.permutations(list(range(n))))[:del_count]) \
+        if n else []
+    deletes = table.take(np.array(del_rows, dtype=np.int64)) if del_rows \
+        else table.head(0)
+    return table, inserts, deletes
+
+
+class TestPropertyBased:
+    @settings(max_examples=60, deadline=None)
+    @given(_tables_and_deltas())
+    def test_apply_matches_multiset_semantics(self, case):
+        table, inserts, deletes = case
+        delta = SignedDelta.from_changes(inserts, deletes)
+        result = apply_delta(table, delta)
+        expected = sorted(map(repr, Table.concat(
+            [table, inserts]).to_pylist()))
+        for row in deletes.to_pylist():
+            expected.remove(repr(row))
+        assert sorted(map(repr, result.to_pylist())) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(_tables_and_deltas())
+    def test_consolidate_preserves_application(self, case):
+        table, inserts, deletes = case
+        delta = SignedDelta.from_changes(inserts, deletes)
+        raw = apply_delta(table, delta)
+        merged = apply_delta(table, delta.consolidate(), consolidated=True)
+        assert sorted(map(repr, raw.to_pylist())) == \
+            sorted(map(repr, merged.to_pylist()))
+
+    @settings(max_examples=40, deadline=None)
+    @given(_tables_and_deltas())
+    def test_net_rows_matches_length_change(self, case):
+        table, inserts, deletes = case
+        delta = SignedDelta.from_changes(inserts, deletes)
+        result = apply_delta(table, delta)
+        assert len(result) == len(table) + delta.net_rows

@@ -1,0 +1,200 @@
+"""Tests for delta propagation rules (repro.ivm.rules).
+
+Every rule is validated against the semantic ground truth: applying the
+output delta to the operator's old output must equal running the operator
+on the new input.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db.expressions import BinOp, Col, Lit, Projection
+from repro.db.operators import filter_rows, hash_join, project, union_all
+from repro.db.table import Table
+from repro.ivm.delta import SignedDelta, apply_delta
+from repro.ivm.rules import (
+    delta_filter,
+    delta_join,
+    delta_project,
+    delta_union,
+)
+
+
+def multiset(table: Table) -> list[str]:
+    return sorted(map(repr, table.to_pylist()))
+
+
+def make(keys, vals) -> Table:
+    return Table.from_dict({"k": np.array(keys, dtype=np.int64),
+                            "v": np.array(vals, dtype=np.int64)})
+
+
+PRED = BinOp(">", Col("v"), Lit(0))
+PROJS = [Projection(Col("k"), "k"),
+         Projection(BinOp("*", Col("v"), Lit(2)), "v2")]
+
+
+class TestFilterRule:
+    def test_matches_recompute(self):
+        old = make([1, 2, 3], [5, -1, 2])
+        delta = SignedDelta.from_changes(make([4], [7]), make([1], [5]))
+        out_delta = delta_filter(delta, PRED)
+        maintained = apply_delta(filter_rows(old, PRED), out_delta)
+        recomputed = filter_rows(apply_delta(old, delta), PRED)
+        assert multiset(maintained) == multiset(recomputed)
+
+    def test_empty_delta_passthrough(self):
+        delta = SignedDelta.empty(make([], []))
+        assert delta_filter(delta, PRED).is_empty
+
+
+class TestProjectRule:
+    def test_matches_recompute(self):
+        old = make([1, 2], [5, 6])
+        delta = SignedDelta.from_changes(make([3], [7]), make([2], [6]))
+        out_delta = delta_project(delta, PROJS)
+        maintained = apply_delta(project(old, PROJS), out_delta)
+        recomputed = project(apply_delta(old, delta), PROJS)
+        assert multiset(maintained) == multiset(recomputed)
+
+    def test_duplicate_producing_projection(self):
+        # projecting away v can make rows identical; weights must merge
+        old = make([1, 1], [5, 6])
+        projs = [Projection(Col("k"), "k")]
+        delta = SignedDelta.from_deletes(make([1], [5]))
+        out_delta = delta_project(delta, projs)
+        maintained = apply_delta(project(old, projs), out_delta)
+        assert multiset(maintained) == multiset(make([1], [0]).select(["k"]))
+
+
+class TestUnionRule:
+    def test_matches_recompute(self):
+        a_old, b_old = make([1], [1]), make([2], [2])
+        da = SignedDelta.from_inserts(make([3], [3]))
+        db = SignedDelta.from_deletes(make([2], [2]))
+        out_delta = delta_union([da, db])
+        maintained = apply_delta(union_all([a_old, b_old]), out_delta)
+        recomputed = union_all([apply_delta(a_old, da),
+                                apply_delta(b_old, db)])
+        assert multiset(maintained) == multiset(recomputed)
+
+
+def join_tables(left: Table, right: Table) -> Table:
+    return hash_join(left, right, "k", "k", right_prefix="r")
+
+
+class TestJoinRule:
+    def left(self):
+        return Table.from_dict({"k": np.array([1, 1, 2], dtype=np.int64),
+                                "v": np.array([10, 11, 20],
+                                              dtype=np.int64)})
+
+    def right(self):
+        return Table.from_dict({"k": np.array([1, 2, 2], dtype=np.int64),
+                                "w": np.array([100, 200, 201],
+                                              dtype=np.int64)})
+
+    def check(self, left_delta: SignedDelta, right_delta: SignedDelta):
+        left_old, right_old = self.left(), self.right()
+        out_delta = delta_join(left_old, left_delta, right_old,
+                               right_delta, "k", "k", right_prefix="r")
+        maintained = apply_delta(join_tables(left_old, right_old),
+                                 out_delta)
+        recomputed = join_tables(apply_delta(left_old, left_delta),
+                                 apply_delta(right_old, right_delta))
+        assert multiset(maintained) == multiset(recomputed)
+
+    def test_left_insert(self):
+        self.check(
+            SignedDelta.from_inserts(Table.from_dict({"k": [2], "v": [21]})),
+            SignedDelta.empty(self.right()))
+
+    def test_right_insert(self):
+        self.check(
+            SignedDelta.empty(self.left()),
+            SignedDelta.from_inserts(
+                Table.from_dict({"k": [1], "w": [101]})))
+
+    def test_both_sides_insert_cross_term(self):
+        self.check(
+            SignedDelta.from_inserts(Table.from_dict({"k": [5], "v": [50]})),
+            SignedDelta.from_inserts(
+                Table.from_dict({"k": [5], "w": [500]})))
+
+    def test_left_delete(self):
+        self.check(
+            SignedDelta.from_deletes(
+                Table.from_dict({"k": [1], "v": [10]})),
+            SignedDelta.empty(self.right()))
+
+    def test_mixed_insert_delete_both_sides(self):
+        self.check(
+            SignedDelta.from_changes(
+                Table.from_dict({"k": [2], "v": [22]}),
+                Table.from_dict({"k": [1], "v": [11]})),
+            SignedDelta.from_changes(
+                Table.from_dict({"k": [2], "w": [202]}),
+                Table.from_dict({"k": [2], "w": [200]})))
+
+    def test_empty_deltas_give_empty_output(self):
+        out = delta_join(self.left(), SignedDelta.empty(self.left()),
+                         self.right(), SignedDelta.empty(self.right()),
+                         "k", "k", right_prefix="r")
+        assert out.is_empty
+
+
+@st.composite
+def _join_case(draw):
+    def rel(prefix, n):
+        keys = draw(st.lists(st.integers(0, 3), min_size=n, max_size=n))
+        vals = draw(st.lists(st.integers(0, 9), min_size=n, max_size=n))
+        return Table.from_dict({
+            "k": np.array(keys, dtype=np.int64),
+            prefix: np.array(vals, dtype=np.int64)})
+
+    left_old = rel("v", draw(st.integers(0, 6)))
+    right_old = rel("w", draw(st.integers(0, 6)))
+    left_ins = rel("v", draw(st.integers(0, 3)))
+    right_ins = rel("w", draw(st.integers(0, 3)))
+    n_del_l = draw(st.integers(0, len(left_old)))
+    n_del_r = draw(st.integers(0, len(right_old)))
+    left_del = left_old.take(np.arange(n_del_l))
+    right_del = right_old.take(np.arange(n_del_r))
+    return (left_old, right_old,
+            SignedDelta.from_changes(left_ins, left_del),
+            SignedDelta.from_changes(right_ins, right_del))
+
+
+class TestJoinRuleProperty:
+    @settings(max_examples=80, deadline=None)
+    @given(_join_case())
+    def test_incremental_equals_recompute(self, case):
+        left_old, right_old, left_delta, right_delta = case
+        out_delta = delta_join(left_old, left_delta, right_old,
+                               right_delta, "k", "k", right_prefix="r")
+        maintained = apply_delta(join_tables(left_old, right_old),
+                                 out_delta)
+        recomputed = join_tables(apply_delta(left_old, left_delta),
+                                 apply_delta(right_old, right_delta))
+        assert multiset(maintained) == multiset(recomputed)
+
+
+class TestValidation:
+    def test_filter_requires_boolean(self):
+        delta = SignedDelta.from_inserts(make([1], [1]))
+        with pytest.raises(Exception):
+            delta_filter(delta, BinOp("+", Col("v"), Lit(1)))
+
+    def test_project_reserved_alias(self):
+        delta = SignedDelta.from_inserts(make([1], [1]))
+        from repro.errors import ValidationError
+        from repro.ivm.delta import WEIGHT_COLUMN
+        with pytest.raises(ValidationError):
+            delta_project(delta, [Projection(Col("k"), WEIGHT_COLUMN)])
+
+    def test_project_empty_list(self):
+        from repro.errors import ValidationError
+        delta = SignedDelta.from_inserts(make([1], [1]))
+        with pytest.raises(ValidationError):
+            delta_project(delta, [])

@@ -1,0 +1,310 @@
+"""Tests for incremental views and pipelines (repro.ivm.view/pipeline)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db.expressions import AggSpec, BinOp, Col, Lit, Projection
+from repro.db.table import Table
+from repro.errors import ValidationError
+from repro.ivm.delta import SignedDelta
+from repro.ivm.estimate import choose_refresh_mode
+from repro.ivm.pipeline import IncrementalPipeline
+from repro.ivm.view import (
+    Aggregate,
+    Filter,
+    IncrementalView,
+    Join,
+    Project,
+    Scan,
+    Union,
+    evaluate_plan,
+)
+
+
+def sales_table() -> Table:
+    return Table.from_dict({
+        "item": np.array([1, 1, 2, 2, 3], dtype=np.int64),
+        "qty": np.array([2, 3, 1, 4, 5], dtype=np.int64),
+        "price": np.array([10.0, 10.0, 20.0, 20.0, 5.0]),
+    })
+
+
+def items_table() -> Table:
+    return Table.from_dict({
+        "item": np.array([1, 2, 3], dtype=np.int64),
+        "category": np.array(["a", "b", "a"]),
+    })
+
+
+def multiset(table: Table) -> list[str]:
+    return sorted(map(repr, table.to_pylist()))
+
+
+class TestEvaluatePlan:
+    def test_scan(self):
+        catalog = {"sales": sales_table()}
+        assert evaluate_plan(Scan("sales"), catalog).equals(sales_table())
+
+    def test_unknown_source(self):
+        with pytest.raises(ValidationError):
+            evaluate_plan(Scan("nope"), {})
+
+    def test_composed_tree(self):
+        catalog = {"sales": sales_table(), "items": items_table()}
+        plan = Aggregate(
+            Join(Filter(Scan("sales"), BinOp(">", Col("qty"), Lit(1))),
+                 Scan("items"), "item", "item"),
+            group_by=("category",),
+            aggs=(AggSpec("SUM", Col("qty"), "total"),))
+        result = evaluate_plan(plan, catalog)
+        rows = {r["category"]: r["total"] for r in result.to_pylist()}
+        assert rows == {"a": 10, "b": 4}
+
+
+class TestIncrementalViewFilterProject:
+    def plan(self):
+        return Project(
+            Filter(Scan("sales"), BinOp(">=", Col("qty"), Lit(2))),
+            projections=(Projection(Col("item"), "item"),
+                         Projection(BinOp("*", Col("qty"), Col("price")),
+                                    "revenue")))
+
+    def test_maintained_equals_recompute(self):
+        view = IncrementalView("rev", self.plan())
+        catalog = {"sales": sales_table()}
+        view.materialize(catalog)
+        delta = SignedDelta.from_changes(
+            Table.from_dict({"item": [4], "qty": [6], "price": [2.0]}),
+            sales_table().head(1))
+        view.apply_deltas({"sales": delta})
+        new_catalog = {"sales":
+                       __import__("repro.ivm.delta", fromlist=["x"])
+                       .apply_delta(sales_table(), delta)}
+        expected = evaluate_plan(self.plan(), new_catalog)
+        assert multiset(view.table) == multiset(expected)
+
+    def test_requires_materialization_first(self):
+        view = IncrementalView("rev", self.plan())
+        with pytest.raises(ValidationError):
+            view.apply_deltas({})
+
+    def test_missing_source_delta_raises(self):
+        view = IncrementalView("rev", self.plan())
+        view.materialize({"sales": sales_table()})
+        with pytest.raises(ValidationError):
+            view.apply_deltas({})
+
+
+class TestIncrementalViewAggregate:
+    def sum_plan(self):
+        return Aggregate(Scan("sales"), group_by=("item",),
+                         aggs=(AggSpec("SUM", Col("qty"), "total"),
+                               AggSpec("COUNT", None, "n")))
+
+    def minmax_plan(self):
+        return Aggregate(Scan("sales"), group_by=("item",),
+                         aggs=(AggSpec("MIN", Col("qty"), "lo"),
+                               AggSpec("MAX", Col("qty"), "hi")))
+
+    def check(self, plan, delta):
+        view = IncrementalView("agg", plan)
+        view.materialize({"sales": sales_table()})
+        view.apply_deltas({"sales": delta})
+        from repro.ivm.delta import apply_delta
+        expected = evaluate_plan(plan,
+                                 {"sales": apply_delta(sales_table(),
+                                                       delta)})
+        assert multiset(view.table) == multiset(expected)
+
+    def test_sum_count_insert(self):
+        self.check(self.sum_plan(), SignedDelta.from_inserts(
+            Table.from_dict({"item": [1, 9], "qty": [7, 1],
+                             "price": [10.0, 1.0]})))
+
+    def test_sum_count_delete_clears_group(self):
+        self.check(self.sum_plan(), SignedDelta.from_deletes(
+            Table.from_dict({"item": [3], "qty": [5], "price": [5.0]})))
+
+    def test_min_max_deletion_exposes_new_extremum(self):
+        # deleting the max of item 2 (qty=4) must surface qty=1 as new max
+        self.check(self.minmax_plan(), SignedDelta.from_deletes(
+            Table.from_dict({"item": [2], "qty": [4], "price": [20.0]})))
+
+    def test_scalar_aggregate(self):
+        plan = Aggregate(Scan("sales"), group_by=(),
+                         aggs=(AggSpec("SUM", Col("qty"), "total"),))
+        self.check(plan, SignedDelta.from_inserts(
+            Table.from_dict({"item": [5], "qty": [100],
+                             "price": [1.0]})))
+
+    def test_empty_delta_produces_empty_output_delta(self):
+        view = IncrementalView("agg", self.sum_plan())
+        view.materialize({"sales": sales_table()})
+        out = view.apply_deltas(
+            {"sales": SignedDelta.empty(sales_table())})
+        assert out.is_empty
+
+
+class TestPipeline:
+    def build(self) -> IncrementalPipeline:
+        pipe = IncrementalPipeline({"sales": sales_table(),
+                                    "items": items_table()})
+        pipe.add_view("big_sales",
+                      Filter(Scan("sales"), BinOp(">", Col("qty"), Lit(1))))
+        pipe.add_view("named",
+                      Join(Scan("big_sales"), Scan("items"),
+                           "item", "item"))
+        pipe.add_view("by_category",
+                      Aggregate(Scan("named"), group_by=("category",),
+                                aggs=(AggSpec("SUM", Col("qty"), "total"),)))
+        pipe.add_view("all_and_big",
+                      Union((Scan("big_sales"), Scan("big_sales"))))
+        return pipe
+
+    def test_duplicate_name_rejected(self):
+        pipe = self.build()
+        with pytest.raises(ValidationError):
+            pipe.add_view("sales", Scan("items"))
+
+    def test_unknown_source_rejected(self):
+        pipe = self.build()
+        with pytest.raises(ValidationError):
+            pipe.add_view("bad", Scan("missing"))
+
+    def test_view_order_topological(self):
+        order = self.build().view_order()
+        assert order.index("big_sales") < order.index("named")
+        assert order.index("named") < order.index("by_category")
+
+    def test_materialize_all_then_verify(self):
+        pipe = self.build()
+        pipe.materialize_all()
+        pipe.verify_against_full_recompute()
+
+    def test_ingest_maintains_whole_dag(self):
+        pipe = self.build()
+        pipe.materialize_all()
+        delta = SignedDelta.from_changes(
+            Table.from_dict({"item": [2, 3], "qty": [9, 2],
+                             "price": [20.0, 5.0]}),
+            sales_table().head(2))
+        report = pipe.ingest({"sales": delta})
+        pipe.verify_against_full_recompute()
+        assert report.total_changed_rows > 0
+        assert set(report.view_deltas) == set(pipe.views)
+
+    def test_ingest_unknown_base_rejected(self):
+        pipe = self.build()
+        pipe.materialize_all()
+        with pytest.raises(ValidationError):
+            pipe.ingest({"nope": SignedDelta.empty(sales_table())})
+
+    def test_two_rounds_of_ingest(self):
+        pipe = self.build()
+        pipe.materialize_all()
+        d1 = SignedDelta.from_inserts(
+            Table.from_dict({"item": [1], "qty": [8], "price": [10.0]}))
+        d2 = SignedDelta.from_deletes(
+            Table.from_dict({"item": [1], "qty": [8], "price": [10.0]}))
+        pipe.ingest({"sales": d1})
+        pipe.ingest({"sales": d2})
+        pipe.verify_against_full_recompute()
+
+    def test_items_delta_propagates_through_join(self):
+        pipe = self.build()
+        pipe.materialize_all()
+        delta = SignedDelta.from_inserts(
+            Table.from_dict({"item": [4], "category": ["c"]}))
+        pipe.ingest({"items": delta})
+        pipe.verify_against_full_recompute()
+
+
+class TestScBridge:
+    def test_to_sc_problem_shapes(self):
+        pipe = TestPipeline().build()
+        pipe.materialize_all()
+        delta = SignedDelta.from_inserts(
+            Table.from_dict({"item": [1], "qty": [7], "price": [10.0]}))
+        report = pipe.ingest({"sales": delta})
+        problem = pipe.to_sc_problem(report, memory_budget_gb=1.0)
+        assert problem.graph.n == len(pipe.views)
+        assert problem.graph.has_edge("big_sales", "named")
+        # every node got a nonnegative score and positive size
+        for node in problem.graph.nodes():
+            assert problem.graph.size_of(node) > 0
+            assert problem.graph.score_of(node) >= 0
+
+    def test_optimizer_runs_on_bridge_output(self):
+        from repro.core.optimizer import optimize
+        pipe = TestPipeline().build()
+        pipe.materialize_all()
+        delta = SignedDelta.from_inserts(
+            Table.from_dict({"item": [2], "qty": [3], "price": [20.0]}))
+        report = pipe.ingest({"sales": delta})
+        problem = pipe.to_sc_problem(report, memory_budget_gb=1.0)
+        result = optimize(problem, method="sc")
+        assert set(result.plan.order) == set(pipe.views)
+
+
+class TestRefreshModeChoice:
+    def test_small_delta_prefers_incremental(self):
+        decision = choose_refresh_mode(
+            "v", input_gb=10.0, output_gb=5.0, input_delta_gb=0.01,
+            output_delta_gb=0.005)
+        assert decision.mode == "incremental"
+
+    def test_full_churn_prefers_full(self):
+        decision = choose_refresh_mode(
+            "v", input_gb=1.0, output_gb=1.0, input_delta_gb=1.0,
+            output_delta_gb=1.0)
+        assert decision.mode == "full"
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValidationError):
+            choose_refresh_mode("v", -1.0, 1.0, 0.1, 0.1)
+
+
+@st.composite
+def _pipeline_rounds(draw):
+    """Random base contents plus two rounds of random legal deltas."""
+    def sales(n):
+        return Table.from_dict({
+            "item": np.array(draw(st.lists(st.integers(1, 4),
+                                           min_size=n, max_size=n)),
+                             dtype=np.int64),
+            "qty": np.array(draw(st.lists(st.integers(1, 9),
+                                          min_size=n, max_size=n)),
+                            dtype=np.int64),
+        })
+
+    base = sales(draw(st.integers(1, 8)))
+    rounds = []
+    current = base
+    for _ in range(2):
+        inserts = sales(draw(st.integers(0, 4)))
+        n_del = draw(st.integers(0, min(2, len(current))))
+        deletes = current.take(np.arange(n_del))
+        delta = SignedDelta.from_changes(inserts, deletes)
+        from repro.ivm.delta import apply_delta
+        current = apply_delta(current, delta)
+        rounds.append(delta)
+    return base, rounds
+
+
+class TestPipelinePropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(_pipeline_rounds())
+    def test_multi_round_golden_invariant(self, case):
+        base, rounds = case
+        pipe = IncrementalPipeline({"sales": base})
+        pipe.add_view("big",
+                      Filter(Scan("sales"), BinOp(">", Col("qty"), Lit(2))))
+        pipe.add_view("totals",
+                      Aggregate(Scan("big"), group_by=("item",),
+                                aggs=(AggSpec("SUM", Col("qty"), "total"),
+                                      AggSpec("MAX", Col("qty"), "hi"))))
+        pipe.materialize_all()
+        for delta in rounds:
+            pipe.ingest({"sales": delta})
+            pipe.verify_against_full_recompute()

@@ -1,0 +1,147 @@
+"""Tests for the branch-and-bound MKP solver (the OR-Tools replacement)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.solver.brute import solve_mkp_brute_force
+from repro.solver.greedy import greedy_mkp, greedy_mkp_by_density
+from repro.solver.mkp import (
+    BranchAndBoundSolver,
+    MkpInstance,
+    solve_mkp,
+)
+
+
+def random_instance(rng: random.Random, max_items: int = 12,
+                    max_rows: int = 5) -> MkpInstance:
+    n = rng.randint(1, max_items)
+    k = rng.randint(0, max_rows)
+    profits = [rng.uniform(0, 20) for _ in range(n)]
+    weights = [
+        [rng.choice([0.0, rng.uniform(0.1, 10.0)]) for _ in range(n)]
+        for _ in range(k)
+    ]
+    capacities = [rng.uniform(1.0, 15.0) for _ in range(k)]
+    return MkpInstance.from_lists(profits, weights, capacities)
+
+
+class TestInstanceValidation:
+    def test_shape_mismatches_rejected(self):
+        with pytest.raises(ValidationError):
+            MkpInstance.from_lists([1.0], [[1.0, 2.0]], [5.0])
+        with pytest.raises(ValidationError):
+            MkpInstance.from_lists([1.0], [[1.0]], [5.0, 5.0])
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValidationError):
+            MkpInstance.from_lists([-1.0], [[1.0]], [5.0])
+        with pytest.raises(ValidationError):
+            MkpInstance.from_lists([1.0], [[-1.0]], [5.0])
+        with pytest.raises(ValidationError):
+            MkpInstance.from_lists([1.0], [[1.0]], [-5.0])
+
+    def test_feasibility_and_objective(self):
+        inst = MkpInstance.from_lists([3.0, 4.0], [[2.0, 3.0]], [4.0])
+        assert inst.is_feasible([0])
+        assert not inst.is_feasible([0, 1])
+        assert inst.objective([0, 1]) == 7.0
+
+
+class TestSolverBasics:
+    def test_empty_instance(self):
+        solution = solve_mkp(MkpInstance.from_lists([], [], []))
+        assert solution.selected == ()
+        assert solution.objective == 0.0
+        assert solution.optimal
+
+    def test_unconstrained_takes_everything(self):
+        inst = MkpInstance.from_lists([1.0, 2.0, 3.0], [], [])
+        solution = solve_mkp(inst)
+        assert set(solution.selected) == {0, 1, 2}
+
+    def test_oversized_item_never_selected(self):
+        inst = MkpInstance.from_lists([100.0, 1.0], [[50.0, 1.0]], [10.0])
+        solution = solve_mkp(inst)
+        assert 0 not in solution.selected
+
+    def test_classic_knapsack(self):
+        # profits/weights chosen so density-greedy is suboptimal
+        inst = MkpInstance.from_lists(
+            [60.0, 100.0, 120.0], [[10.0, 20.0, 30.0]], [50.0])
+        solution = solve_mkp(inst, tolerance=0.0)
+        assert solution.objective == pytest.approx(220.0)
+        assert set(solution.selected) == {1, 2}
+
+    def test_node_limit_returns_incumbent(self):
+        rng = random.Random(11)
+        inst = random_instance(rng, max_items=12, max_rows=4)
+        solver = BranchAndBoundSolver(node_limit=1, tolerance=0.0,
+                                      use_fractional_bound=False)
+        solution = solver.solve(inst)
+        assert inst.is_feasible(solution.selected)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            BranchAndBoundSolver(node_limit=0)
+        with pytest.raises(ValidationError):
+            BranchAndBoundSolver(tolerance=-0.1)
+
+
+class TestAgainstBruteForce:
+    def test_exact_mode_matches_brute_force(self):
+        rng = random.Random(42)
+        for _ in range(40):
+            inst = random_instance(rng)
+            exact = solve_mkp(inst, tolerance=0.0)
+            reference = solve_mkp_brute_force(inst)
+            assert exact.objective == pytest.approx(
+                reference.objective, rel=1e-6)
+            assert inst.is_feasible(exact.selected)
+
+    def test_default_mode_within_one_percent(self):
+        rng = random.Random(43)
+        for _ in range(40):
+            inst = random_instance(rng)
+            approx = solve_mkp(inst)
+            reference = solve_mkp_brute_force(inst)
+            assert approx.objective >= reference.objective * 0.99 - 1e-9
+
+    def test_weak_bound_still_exact(self):
+        rng = random.Random(44)
+        for _ in range(15):
+            inst = random_instance(rng, max_items=10)
+            weak = solve_mkp(inst, tolerance=0.0,
+                             use_fractional_bound=False)
+            reference = solve_mkp_brute_force(inst)
+            assert weak.objective == pytest.approx(reference.objective,
+                                                   rel=1e-6)
+
+
+class TestGreedyHeuristics:
+    def test_greedy_feasible(self):
+        rng = random.Random(5)
+        for _ in range(20):
+            inst = random_instance(rng)
+            assert inst.is_feasible(greedy_mkp(inst))
+            assert inst.is_feasible(greedy_mkp_by_density(inst))
+
+    def test_density_greedy_prefers_dense_items(self):
+        inst = MkpInstance.from_lists(
+            [10.0, 9.0], [[10.0, 1.0]], [10.0])
+        assert greedy_mkp_by_density(inst) == [1]
+        # index-order greedy takes item 0 first and fills the row
+        assert greedy_mkp(inst) == [0]
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_property_bnb_matches_brute_force(seed):
+    rng = random.Random(seed)
+    inst = random_instance(rng, max_items=10, max_rows=4)
+    exact = solve_mkp(inst, tolerance=0.0)
+    reference = solve_mkp_brute_force(inst)
+    assert exact.objective == pytest.approx(reference.objective, rel=1e-6)
+    assert inst.is_feasible(exact.selected)

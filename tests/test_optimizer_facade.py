@@ -1,0 +1,84 @@
+"""Tests for the optimizer facade and the method registry."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.optimizer import OPTIMIZER_METHODS, optimize, plan_summary
+from repro.core.residency import is_feasible
+from repro.errors import ValidationError
+from repro.graph.topo import is_topological_order
+from tests.conftest import make_fig7_problem, make_random_problem
+
+
+class TestRegistry:
+    def test_unknown_method_rejected(self):
+        problem = make_fig7_problem()
+        with pytest.raises(ValidationError, match="unknown method"):
+            optimize(problem, method="magic")
+
+    def test_none_method_flags_nothing(self):
+        problem = make_fig7_problem()
+        result = optimize(problem, method="none")
+        assert result.plan.flagged == frozenset()
+        assert result.total_score == 0.0
+
+    def test_sc_is_mkp_madfs(self):
+        problem = make_fig7_problem()
+        assert optimize(problem, "sc").plan == \
+            optimize(problem, "mkp+madfs").plan
+
+    @pytest.mark.parametrize("method", OPTIMIZER_METHODS)
+    def test_every_method_produces_feasible_plan(self, method):
+        problem = make_fig7_problem()
+        result = optimize(problem, method=method, seed=1)
+        plan = result.plan
+        assert is_topological_order(problem.graph, list(plan.order))
+        assert is_feasible(problem.graph, plan.order, plan.flagged,
+                           problem.memory_budget)
+
+    def test_random_method_respects_seed(self):
+        problem = make_random_problem(5, n_nodes=20)
+        a = optimize(problem, "random", seed=1).plan
+        b = optimize(problem, "random", seed=1).plan
+        assert a == b
+
+
+class TestQuality:
+    def test_sc_beats_fig7_baselines(self):
+        problem = make_fig7_problem()
+        sc = optimize(problem, "sc").total_score
+        for method in ("greedy", "random", "ratio"):
+            assert sc >= optimize(problem, method, seed=3).total_score
+
+    def test_sc_dominates_selection_baselines_statistically(self):
+        total = {"sc": 0.0, "greedy": 0.0, "random": 0.0, "ratio": 0.0}
+        for seed in range(12):
+            problem = make_random_problem(seed, n_nodes=18,
+                                          budget_fraction=0.25)
+            for method in total:
+                total[method] += optimize(problem, method,
+                                          seed=seed).total_score
+        assert total["sc"] >= max(total["greedy"], total["random"],
+                                  total["ratio"])
+
+
+class TestSummary:
+    def test_plan_summary_fields(self):
+        problem = make_fig7_problem()
+        result = optimize(problem, "sc")
+        summary = plan_summary(problem, result)
+        assert summary["n_nodes"] == 6
+        assert summary["total_score"] == 210
+        assert summary["peak_memory"] <= summary["memory_budget"]
+        assert summary["n_flagged"] == len(result.plan.flagged)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 5_000),
+       method=st.sampled_from([m for m in OPTIMIZER_METHODS
+                               if m not in ("mkp+sa",)]))
+def test_property_all_methods_feasible_on_random_instances(seed, method):
+    problem = make_random_problem(seed, n_nodes=14, budget_fraction=0.3)
+    result = optimize(problem, method=method, seed=seed)
+    assert is_feasible(problem.graph, result.plan.order,
+                       result.plan.flagged, problem.memory_budget)

@@ -1,0 +1,101 @@
+"""Tests for the SA and Separator order baselines."""
+
+import random
+
+import pytest
+
+from repro.core.residency import average_memory_usage
+from repro.errors import GraphError, ValidationError
+from repro.graph.dag import DependencyGraph
+from repro.graph.generators import generate_layered_dag, LayeredDagConfig
+from repro.graph.topo import is_topological_order, kahn_topological_order
+from repro.solver.sa import AnnealingSchedule, anneal_order, swap_is_valid
+from repro.solver.separator import separator_order
+
+
+def sized_graph(seed: int = 0, n: int = 24) -> DependencyGraph:
+    graph = generate_layered_dag(LayeredDagConfig(n_nodes=n), seed=seed)
+    rng = random.Random(seed)
+    for v in graph.nodes():
+        graph.node(v).size = rng.uniform(0.5, 10.0)
+    return graph
+
+
+class TestSwapValidity:
+    def test_direct_dependency_blocks_swap(self, chain_graph):
+        order = ["a", "b", "c", "d"]
+        position = {v: i for i, v in enumerate(order)}
+        assert not swap_is_valid(chain_graph, order, position, 0, 1)
+        assert not swap_is_valid(chain_graph, order, position, 1, 3)
+
+    def test_independent_nodes_swap(self, diamond_graph):
+        order = ["a", "b", "c", "d"]
+        position = {v: i for i, v in enumerate(order)}
+        assert swap_is_valid(diamond_graph, order, position, 1, 2)
+
+
+class TestAnnealing:
+    def test_schedule_validation(self):
+        with pytest.raises(ValidationError):
+            AnnealingSchedule(iterations=-1)
+        with pytest.raises(ValidationError):
+            AnnealingSchedule(cooling=0.0)
+        with pytest.raises(ValidationError):
+            AnnealingSchedule(initial_temperature=0.0)
+
+    def test_produces_valid_topological_order(self):
+        graph = sized_graph(seed=1)
+        flagged = frozenset(list(graph.nodes())[:8])
+        initial = kahn_topological_order(graph)
+
+        def objective(order):
+            return average_memory_usage(graph, order, flagged)
+
+        result = anneal_order(graph, initial, objective,
+                              AnnealingSchedule(iterations=500),
+                              rng=random.Random(0))
+        assert is_topological_order(graph, result)
+
+    def test_never_worse_than_initial(self):
+        graph = sized_graph(seed=2)
+        flagged = frozenset(list(graph.nodes())[:10])
+        initial = kahn_topological_order(graph)
+
+        def objective(order):
+            return average_memory_usage(graph, order, flagged)
+
+        result = anneal_order(graph, initial, objective,
+                              AnnealingSchedule(iterations=2000),
+                              rng=random.Random(1))
+        assert objective(result) <= objective(initial) + 1e-9
+
+    def test_single_node_graph(self):
+        graph = DependencyGraph()
+        graph.add_node("only")
+        result = anneal_order(graph, ["only"], lambda order: 0.0)
+        assert result == ["only"]
+
+    def test_wrong_initial_order_rejected(self, diamond_graph):
+        with pytest.raises(ValidationError):
+            anneal_order(diamond_graph, ["a", "b"], lambda o: 0.0)
+
+
+class TestSeparator:
+    def test_valid_topological_order(self):
+        graph = sized_graph(seed=3)
+        order = separator_order(graph, set(list(graph.nodes())[:5]))
+        assert is_topological_order(graph, order)
+
+    def test_empty_flag_set(self, diamond_graph):
+        order = separator_order(diamond_graph)
+        assert is_topological_order(diamond_graph, order)
+
+    def test_unknown_flagged_node_rejected(self, diamond_graph):
+        with pytest.raises(GraphError):
+            separator_order(diamond_graph, {"ghost"})
+
+    def test_deterministic(self):
+        graph = sized_graph(seed=4)
+        flagged = set(list(graph.nodes())[:6])
+        assert separator_order(graph, flagged) == \
+            separator_order(graph, flagged)
