@@ -20,6 +20,7 @@ from repro.core.optimizer import OPTIMIZER_METHODS, optimize, plan_summary
 from repro.core.plan import Plan
 from repro.core.problem import ScProblem
 from repro.engine.controller import Controller
+from repro.exec.base import backend_names
 from repro.graph.io import graph_from_json, graph_to_json
 from repro.workloads.five_workloads import WORKLOAD_NAMES, build_workload
 
@@ -35,6 +36,7 @@ _EXPERIMENTS = {
     "table5": experiments.table5_cluster_scaling,
     "fig13": experiments.fig13_optimization_time,
     "fig14": experiments.fig14_parameter_sweep,
+    "parallel": experiments.parallel_scaling,
 }
 
 
@@ -62,6 +64,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=sorted(OPTIMIZER_METHODS) + ["lru"])
     p_sim.add_argument("--plan", help="optional pre-computed plan JSON")
     p_sim.add_argument("--seed", type=int, default=0)
+    # minidb is excluded: it needs a SqlWorkload, which simulate's
+    # graph-JSON input cannot provide
+    graph_backends = sorted(set(backend_names()) - {"minidb"})
+    p_sim.add_argument("--backend", choices=graph_backends,
+                       help="execution backend (default: serial simulator;"
+                            " 'parallel' runs the memory-bounded scheduler)")
+    p_sim.add_argument("--workers", type=int, default=1,
+                       help="worker count for the parallel backend")
     p_sim.add_argument("--gantt", action="store_true",
                        help="print an ASCII execution timeline")
 
@@ -127,8 +137,12 @@ def _cmd_simulate(args) -> int:
         with open(args.plan, encoding="utf-8") as handle:
             plan = Plan.from_json(handle.read())
     trace = controller.refresh(graph, args.memory, method=args.method,
-                               seed=args.seed, plan=plan)
+                               seed=args.seed, plan=plan,
+                               backend=args.backend, workers=args.workers)
     print(f"method:            {args.method}")
+    if args.backend:
+        print(f"backend:           {args.backend} "
+              f"(workers={args.workers})")
     print(f"end-to-end time:   {trace.end_to_end_time:.3f} s")
     print(f"table read:        {trace.table_read_latency:.3f} s "
           f"(disk {trace.table_read_disk_latency:.3f} s)")

@@ -26,6 +26,7 @@ lives in :mod:`repro.engine.lru` and is selected through
 
 from __future__ import annotations
 
+import itertools
 import random
 from typing import Callable, Sequence
 
@@ -52,8 +53,20 @@ from repro.graph.topo import kahn_topological_order
 
 
 def _random_selector(seed: int):
+    """Random-scan selector with a fresh seeded RNG per ``select()`` call.
+
+    Each alternating iteration gets its own RNG derived from ``(seed,
+    call index)`` — no RNG state is shared across iterations, so results
+    depend only on the seed and the iteration number, not on how many
+    rounds the alternating loop happens to run, and different iterations
+    explore different scan orders.
+    """
+    calls = itertools.count()
+
     def select(problem: ScProblem, order: Sequence[str]) -> frozenset[str]:
-        return random_selection(problem, order, rng=random.Random(seed))
+        # Knuth-style mix keeps per-iteration streams disjoint and stable
+        rng = random.Random(seed * 2_654_435_761 + next(calls))
+        return random_selection(problem, order, rng=rng)
 
     return select
 
@@ -122,7 +135,9 @@ def optimize(problem: ScProblem, method: str = "sc",
         plan = Plan.unoptimized(order)
         return AlternatingResult(
             plan=plan, total_score=0.0,
-            peak_memory=0.0, iterations=0,
+            peak_memory=peak_memory_usage(problem.graph, plan.order,
+                                          plan.flagged),
+            iterations=0,
             stop_reason="no_optimization", history=[])
     if method == "sc":
         method = "mkp+madfs"

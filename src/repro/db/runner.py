@@ -1,33 +1,19 @@
 """Execute an S/C plan on the real MiniDB with background materialization.
 
-This is the honest, wall-clock counterpart of the discrete-event simulator:
-flagged MVs are created in the memory catalog and drained to disk by a
-*real* worker thread (numpy/zlib release the GIL for the heavy work, so the
-overlap the paper exploits is genuine); unflagged MVs pay the blocking
-write. The Memory Catalog budget is enforced in bytes with the same
-consumer-count + materialization-hold release protocol as the simulator.
+The implementation moved to :class:`repro.exec.minidb.MiniDbBackend` as
+part of the unified execution layer (see :mod:`repro.exec`): the runner is
+now one of four interchangeable backends behind the
+``prepare / execute_node / materialize / evict / finish`` protocol, with
+budget enforcement delegated to the shared
+:class:`~repro.exec.ledger.MemoryLedger`.  This module keeps the original
+function-style entry point for callers and tests.
 """
 
 from __future__ import annotations
 
-import threading
-import time
-from dataclasses import dataclass
-
 from repro.core.plan import Plan
 from repro.db.engine import SqlWorkload
-from repro.engine.trace import NodeTrace, RunTrace
-from repro.errors import ExecutionError
-
-_GB = 1024.0 ** 3
-
-
-@dataclass
-class _FlaggedState:
-    size_gb: float
-    consumers_left: int
-    thread: threading.Thread
-    released: bool = False
+from repro.engine.trace import RunTrace
 
 
 def run_workload(workload: SqlWorkload, plan: Plan, memory_budget_gb: float,
@@ -37,96 +23,8 @@ def run_workload(workload: SqlWorkload, plan: Plan, memory_budget_gb: float,
     MVs are dropped from the memory catalog as they are released but left
     persisted on disk (that is the product of a refresh run).
     """
-    graph = workload.graph()
-    db = workload.db
-    by_name = {d.name: d for d in workload.definitions}
-    missing = [v for v in plan.order if v not in by_name]
-    if missing:
-        raise ExecutionError(f"plan mentions unknown MVs: {missing[:5]}")
+    from repro.exec.base import create_backend
 
-    states: dict[str, _FlaggedState] = {}
-    usage_gb = 0.0
-    peak_gb = 0.0
-    traces: list[NodeTrace] = []
-    run_started = time.perf_counter()
-
-    def maybe_release(name: str) -> None:
-        nonlocal usage_gb
-        state = states.get(name)
-        if state is None or state.released:
-            return
-        if state.consumers_left <= 0 and not state.thread.is_alive():
-            state.thread.join()
-            db.release_memory(name)
-            usage_gb -= state.size_gb
-            state.released = True
-
-    def reclaim(target_gb: float, trace: NodeTrace) -> bool:
-        """Stall until ``target_gb`` fits, joining drained writers."""
-        nonlocal usage_gb
-        stall_started = time.perf_counter()
-        while usage_gb + target_gb > memory_budget_gb + 1e-12:
-            candidates = [s for s in states.values()
-                          if not s.released and s.consumers_left <= 0]
-            if not candidates:
-                return False  # outstanding consumers hold the memory
-            # Wait for the materializer that will free space soonest.
-            for state in candidates:
-                state.thread.join(timeout=0.05)
-            for name in list(states):
-                maybe_release(name)
-        trace.stall += time.perf_counter() - stall_started
-        return True
-
-    for node_id in plan.order:
-        trace = NodeTrace(node_id=node_id,
-                          start=time.perf_counter() - run_started,
-                          flagged=plan.is_flagged(node_id))
-        timing_result = db.query(by_name[node_id].sql)
-        result, timing = timing_result
-        trace.read_disk = timing.read_seconds
-        trace.read_memory = 0.0
-        trace.compute = timing.compute_seconds
-        size_gb = result.nbytes / _GB
-
-        if trace.flagged and reclaim(size_gb, trace):
-            db.catalog.put_memory(node_id, result)
-            usage_gb += size_gb
-            peak_gb = max(peak_gb, usage_gb)
-            thread = threading.Thread(
-                target=db.materialize_from_memory, args=(node_id,),
-                name=f"materialize-{node_id}", daemon=True)
-            states[node_id] = _FlaggedState(
-                size_gb=size_gb,
-                consumers_left=graph.out_degree(node_id),
-                thread=thread)
-            thread.start()
-        else:
-            started = time.perf_counter()
-            db.catalog.persist(node_id, result)
-            trace.write = time.perf_counter() - started
-
-        for parent in graph.parents(node_id):
-            state = states.get(parent)
-            if state is not None and not state.released:
-                state.consumers_left -= 1
-                maybe_release(parent)
-
-        trace.end = time.perf_counter() - run_started
-        traces.append(trace)
-
-    compute_finished = time.perf_counter() - run_started
-    for name, state in states.items():
-        state.thread.join()
-        maybe_release(name)
-    end_to_end = time.perf_counter() - run_started
-
-    return RunTrace(
-        nodes=traces,
-        end_to_end_time=end_to_end,
-        compute_finished_at=compute_finished,
-        background_drained_at=end_to_end,
-        peak_catalog_usage=peak_gb,
-        memory_budget=memory_budget_gb,
-        method=method,
-    )
+    backend = create_backend("minidb", workload=workload)
+    return backend.run(workload.graph(), plan, memory_budget_gb,
+                       method=method)

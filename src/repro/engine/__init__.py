@@ -16,8 +16,12 @@ the mechanics of §III-C exactly:
   its materialization completes;
 * the run ends when every MV is durable on storage.
 
-An alternative backend executes plans on the real mini columnar DBMS in
-:mod:`repro.db` with genuine disk I/O.
+Execution is dispatched through the unified backend layer in
+:mod:`repro.exec`: the serial simulator above, the plan-free LRU baseline,
+the memory-bounded **parallel scheduler** (``backend="parallel"``,
+``workers=N``), and the real mini columnar DBMS in :mod:`repro.db` with
+genuine disk I/O all implement one ``ExecutionBackend`` protocol and share
+one :class:`~repro.exec.ledger.MemoryLedger` for budget accounting.
 """
 
 from repro.engine.memory_catalog import MemoryCatalog

@@ -1,9 +1,25 @@
 """The S/C Controller (paper §III-B): plan in, refreshed MVs out.
 
-The Controller ties the pipeline together: it asks the Optimizer for a plan
-(or receives one), then directs the backend — the discrete-event simulator
-or the real MiniDB — to execute nodes in plan order, creating flagged
-outputs in the Memory Catalog and everything else on storage.
+The Controller ties the pipeline together: it asks the Optimizer for a
+plan (or receives one), then hands execution to an
+:class:`~repro.exec.base.ExecutionBackend` resolved from the backend
+registry — it never special-cases an executor.  Available backends
+(see :mod:`repro.exec`):
+
+* ``"simulator"`` (default) — the serial discrete-event simulator;
+* ``"parallel"`` — the memory-bounded parallel scheduler: ``workers``
+  logical workers execute ready DAG nodes concurrently, with ledger
+  admission control keeping flagged residency within budget and seeded
+  deterministic tie-breaking (``workers=1`` reproduces the serial
+  simulator);
+* ``"lru"`` — the plan-free LRU-cache baseline (topological order,
+  blocking writes); selected automatically for ``method="lru"``;
+* ``"minidb"`` — the real columnar MiniDB with genuine disk I/O, used by
+  :meth:`Controller.refresh_on_minidb`.
+
+All backends share one budget accountant, the
+:class:`~repro.exec.ledger.MemoryLedger`, so memory accounting and the
+release protocol are identical no matter how a plan executes.
 """
 
 from __future__ import annotations
@@ -13,12 +29,11 @@ from dataclasses import dataclass, field
 from repro.core.optimizer import optimize
 from repro.core.plan import Plan
 from repro.core.problem import ScProblem
-from repro.engine.lru import LruSimulator
-from repro.engine.simulator import RefreshSimulator, SimulatorOptions
+from repro.engine.simulator import SimulatorOptions
 from repro.engine.trace import RunTrace
 from repro.errors import ValidationError
+from repro.exec.base import create_backend
 from repro.graph.dag import DependencyGraph
-from repro.graph.topo import kahn_topological_order
 from repro.metadata.costmodel import DeviceProfile
 
 
@@ -27,12 +42,16 @@ class Controller:
     """Coordinates optimization and execution of MV refresh runs.
 
     Attributes:
-        profile: device cost model for the simulator backend.
+        profile: device cost model for the simulation backends.
         options: simulator runtime policy.
+        backend: default execution backend name (overridable per call).
+        workers: default worker count for parallel backends.
     """
 
     profile: DeviceProfile = field(default_factory=DeviceProfile)
     options: SimulatorOptions = field(default_factory=SimulatorOptions)
+    backend: str = "simulator"
+    workers: int = 1
 
     # ------------------------------------------------------------------
     def plan(self, graph: DependencyGraph, memory_budget: float,
@@ -43,24 +62,34 @@ class Controller:
 
     def refresh(self, graph: DependencyGraph, memory_budget: float,
                 method: str = "sc", seed: int = 0,
-                plan: Plan | None = None) -> RunTrace:
+                plan: Plan | None = None, backend: str | None = None,
+                workers: int | None = None) -> RunTrace:
         """Optimize (unless a plan is given) and execute a refresh run.
 
-        ``method="lru"`` routes to the LRU-baseline executor: topological
-        order, blocking writes, an LRU result cache of ``memory_budget``
-        bytes. ``method="none"`` runs serially with nothing in memory.
+        ``backend`` picks the executor by registry name (default: the
+        controller's ``backend`` field).  ``method="lru"`` routes to the
+        plan-free LRU baseline; it takes no plan and no other backend.
+        ``workers`` only matters to parallel backends.
         """
-        if method == "lru":
-            if plan is not None:
-                raise ValidationError("the LRU baseline does not take a plan")
-            order = kahn_topological_order(graph)
-            return LruSimulator(profile=self.profile).run(
-                graph, order, cache_size=memory_budget, method="lru")
+        name = backend or ("lru" if method == "lru" else self.backend)
+        if method == "lru" and name != "lru":
+            raise ValidationError(
+                f"method 'lru' runs on the 'lru' backend, not {name!r}")
+        executor = create_backend(
+            name, profile=self.profile, options=self.options,
+            workers=self.workers if workers is None else workers, seed=seed)
+        if not executor.requires_plan:
+            if method != name:
+                # a plan-free baseline cannot honor an optimizing method,
+                # and mislabeling its trace would corrupt reports
+                raise ValidationError(
+                    f"backend {name!r} is plan-free and ignores optimizer "
+                    f"methods; use method={name!r}")
+            # plan-free baselines validate that no plan was smuggled in
+            return executor.run(graph, plan, memory_budget, method=method)
         if plan is None:
             plan = self.plan(graph, memory_budget, method=method, seed=seed)
-        simulator = RefreshSimulator(profile=self.profile,
-                                     options=self.options)
-        return simulator.run(graph, plan, memory_budget, method=method)
+        return executor.run(graph, plan, memory_budget, method=method)
 
     # ------------------------------------------------------------------
     def refresh_on_minidb(self, workload, memory_budget: float,
@@ -72,8 +101,9 @@ class Controller:
         in the returned trace are wall-clock measurements of real operator
         execution and real (compressed) disk I/O.
         """
-        from repro.db.runner import run_workload  # local import: optional dep
-
-        plan = self.plan(workload.graph(), memory_budget,
-                         method=method, seed=seed)
-        return run_workload(workload, plan, memory_budget, method=method)
+        graph = workload.graph()
+        plan = self.plan(graph, memory_budget, method=method, seed=seed)
+        executor = create_backend(  # lazy import: optional numpy dep
+            "minidb", profile=self.profile, options=self.options,
+            seed=seed, workload=workload)
+        return executor.run(graph, plan, memory_budget, method=method)

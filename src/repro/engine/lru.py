@@ -7,6 +7,13 @@ topological order, every output is written to storage *blocking*, and reads
 hit an LRU cache of recently produced/read tables. The baseline's weakness
 is precisely what S/C fixes: eviction ignores both the dependency structure
 and the cost of re-reading, and writes stay on the critical path.
+
+Byte accounting goes through the shared
+:class:`~repro.exec.ledger.MemoryLedger` (its raw ``charge``/``credit``
+interface), so the LRU baseline reports budget usage with exactly the same
+bookkeeping as every other backend; only the recency/eviction policy lives
+here.  The simulator is resumable (begin / run_segment / finish) to match
+the :class:`~repro.exec.base.ExecutionBackend` hook structure.
 """
 
 from __future__ import annotations
@@ -18,33 +25,38 @@ from typing import Sequence
 from repro.engine.storage import StorageDevice
 from repro.engine.trace import NodeTrace, RunTrace
 from repro.errors import ValidationError
+from repro.exec.ledger import MemoryLedger
 from repro.graph.dag import DependencyGraph
 from repro.graph.topo import check_topological_order
 from repro.metadata.costmodel import DeviceProfile
 
 
-@dataclass
 class LruCache:
-    """Byte-bounded LRU over table ids."""
+    """Byte-bounded LRU over table ids.
 
-    capacity: float
-    _entries: "OrderedDict[str, float]" = field(default_factory=OrderedDict)
-    _usage: float = 0.0
-    _peak: float = 0.0
-    hits: int = 0
-    misses: int = 0
+    Recency lives in an :class:`~collections.OrderedDict`; the bytes
+    themselves are charged against a :class:`MemoryLedger` so usage and
+    peak reporting share the budget accountant of all backends.
+    """
 
-    def __post_init__(self) -> None:
-        if self.capacity < 0:
+    def __init__(self, capacity: float,
+                 ledger: MemoryLedger | None = None) -> None:
+        if capacity < 0:
             raise ValidationError("cache capacity must be >= 0")
+        self.capacity = capacity
+        self.ledger = ledger if ledger is not None \
+            else MemoryLedger(budget=capacity)
+        self._entries: "OrderedDict[str, float]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
 
     @property
     def usage(self) -> float:
-        return self._usage
+        return self.ledger.usage
 
     @property
     def peak_usage(self) -> float:
-        return self._peak
+        return self.ledger.peak_usage
 
     def __contains__(self, table_id: str) -> bool:
         return table_id in self._entries
@@ -69,13 +81,22 @@ class LruCache:
         if size > self.capacity:
             return
         if table_id in self._entries:
-            self._usage -= self._entries.pop(table_id)
-        while self._usage + size > self.capacity and self._entries:
+            self.ledger.credit(self._entries.pop(table_id))
+        while self.usage + size > self.capacity and self._entries:
             _, victim_size = self._entries.popitem(last=False)
-            self._usage -= victim_size
+            self.ledger.credit(victim_size)
         self._entries[table_id] = size
-        self._usage += size
-        self._peak = max(self._peak, self._usage)
+        self.ledger.charge(size)
+
+
+@dataclass
+class LruState:
+    """Resumable mid-run state of the LRU baseline."""
+
+    cache: LruCache
+    storage: StorageDevice
+    clock: float = 0.0
+    traces: list[NodeTrace] = field(default_factory=list)
 
 
 @dataclass
@@ -84,17 +105,29 @@ class LruSimulator:
 
     profile: DeviceProfile = field(default_factory=DeviceProfile)
 
+    # ------------------------------------------------------------------
+    def begin(self, cache_size: float) -> LruState:
+        """Fresh mid-run state for segment-wise execution."""
+        return LruState(cache=LruCache(capacity=cache_size),
+                        storage=StorageDevice(profile=self.profile))
+
     def run(self, graph: DependencyGraph, order: Sequence[str],
             cache_size: float, method: str = "lru") -> RunTrace:
         check_topological_order(graph, order)
-        cache = LruCache(capacity=cache_size)
-        storage = StorageDevice(profile=self.profile)
-        clock = 0.0
-        traces: list[NodeTrace] = []
+        state = self.begin(cache_size)
+        self.run_segment(graph, list(order), state)
+        return self.finish(state, cache_size, method=method)
 
+    # ------------------------------------------------------------------
+    def run_segment(self, graph: DependencyGraph, order: Sequence[str],
+                    state: LruState) -> None:
+        """Execute ``order`` (not-yet-executed nodes), mutating ``state``."""
+        cache = state.cache
+        storage = state.storage
         for node_id in order:
             node = graph.node(node_id)
-            trace = NodeTrace(node_id=node_id, start=clock)
+            trace = NodeTrace(node_id=node_id, start=state.clock)
+            clock = state.clock
 
             input_bytes = 0.0
             for parent in graph.parents(node_id):
@@ -128,14 +161,18 @@ class LruSimulator:
             cache.put(node_id, node.size)  # query results are cached
 
             trace.end = clock
-            traces.append(trace)
+            state.clock = clock
+            state.traces.append(trace)
 
+    def finish(self, state: LruState, cache_size: float,
+               method: str = "lru") -> RunTrace:
+        """Build the run summary (all writes were blocking; no drain)."""
         return RunTrace(
-            nodes=traces,
-            end_to_end_time=clock,
-            compute_finished_at=clock,
-            background_drained_at=clock,
-            peak_catalog_usage=cache.peak_usage,
+            nodes=state.traces,
+            end_to_end_time=state.clock,
+            compute_finished_at=state.clock,
+            background_drained_at=state.clock,
+            peak_catalog_usage=state.cache.peak_usage,
             memory_budget=cache_size,
             method=method,
         )

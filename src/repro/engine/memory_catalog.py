@@ -6,28 +6,20 @@ per not-yet-finished consumer) plus a *materialization hold* — it may leave
 memory only when both reach zero, matching the paper's timeline example
 (Figure 6, t4: MV1 is deleted only after MV3 finished reading it **and**
 MV1's background materialization completed).
+
+Since the ``repro.exec`` refactor the catalog is a thin veneer over the
+shared :class:`~repro.exec.ledger.MemoryLedger`: every execution backend
+(serial simulator, LRU baseline, parallel scheduler, MiniDB runner) now
+runs on the same budget accountant, so accounting and release semantics
+cannot drift between them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.errors import BudgetExceededError, CatalogError
+from repro.exec.ledger import MemoryLedger
 
 
-@dataclass
-class _Entry:
-    size: float
-    consumers_left: int
-    materialization_pending: bool
-
-    @property
-    def releasable(self) -> bool:
-        return self.consumers_left <= 0 and not self.materialization_pending
-
-
-@dataclass
-class MemoryCatalog:
+class MemoryCatalog(MemoryLedger):
     """Bounded catalog of in-memory intermediate tables.
 
     Attributes:
@@ -35,95 +27,3 @@ class MemoryCatalog:
             repo). ``usage``/``peak_usage`` expose accounting for tests and
             the Table IV-style reports.
     """
-
-    budget: float
-    _entries: dict[str, _Entry] = field(default_factory=dict)
-    _usage: float = 0.0
-    _peak: float = 0.0
-
-    # ------------------------------------------------------------------
-    @property
-    def usage(self) -> float:
-        return self._usage
-
-    @property
-    def peak_usage(self) -> float:
-        return self._peak
-
-    @property
-    def available(self) -> float:
-        return self.budget - self._usage
-
-    def __contains__(self, node_id: str) -> bool:
-        return node_id in self._entries
-
-    def resident(self) -> list[str]:
-        return list(self._entries)
-
-    # ------------------------------------------------------------------
-    def fits(self, size: float) -> bool:
-        return size <= self.available + 1e-12
-
-    def insert(self, node_id: str, size: float, n_consumers: int,
-               materialization_pending: bool = True) -> None:
-        """Create a table in memory.
-
-        Raises :class:`BudgetExceededError` when the table does not fit —
-        callers decide whether to stall, spill, or abort.
-        """
-        if node_id in self._entries:
-            raise CatalogError(f"table {node_id!r} already in Memory Catalog")
-        if size < 0:
-            raise CatalogError(f"table {node_id!r} has negative size")
-        if not self.fits(size):
-            raise BudgetExceededError(
-                f"inserting {node_id!r} ({size:.6g}) exceeds Memory Catalog "
-                f"budget ({self.available:.6g} available of {self.budget:.6g})",
-                requested=size, available=self.available)
-        self._entries[node_id] = _Entry(
-            size=size,
-            consumers_left=n_consumers,
-            materialization_pending=materialization_pending)
-        self._usage += size
-        self._peak = max(self._peak, self._usage)
-
-    def consumer_done(self, node_id: str) -> bool:
-        """One consumer finished reading ``node_id``; release if possible.
-
-        Returns True when the entry was evicted.
-        """
-        entry = self._require(node_id)
-        if entry.consumers_left <= 0:
-            raise CatalogError(
-                f"table {node_id!r} has no outstanding consumers")
-        entry.consumers_left -= 1
-        return self._maybe_release(node_id)
-
-    def materialized(self, node_id: str) -> bool:
-        """Background materialization of ``node_id`` completed."""
-        entry = self._require(node_id)
-        if not entry.materialization_pending:
-            raise CatalogError(
-                f"table {node_id!r} was already materialized")
-        entry.materialization_pending = False
-        return self._maybe_release(node_id)
-
-    def force_release(self, node_id: str) -> None:
-        """Unconditional eviction (end-of-run cleanup)."""
-        entry = self._require(node_id)
-        self._usage -= entry.size
-        del self._entries[node_id]
-
-    # ------------------------------------------------------------------
-    def _maybe_release(self, node_id: str) -> bool:
-        entry = self._entries[node_id]
-        if entry.releasable:
-            self._usage -= entry.size
-            del self._entries[node_id]
-            return True
-        return False
-
-    def _require(self, node_id: str) -> _Entry:
-        if node_id not in self._entries:
-            raise CatalogError(f"table {node_id!r} not in Memory Catalog")
-        return self._entries[node_id]

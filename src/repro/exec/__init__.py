@@ -1,0 +1,52 @@
+"""``repro.exec`` — the unified execution layer.
+
+Every way this repo can *run* a refresh plan lives behind one protocol:
+
+* :class:`~repro.exec.base.ExecutionBackend` — the five-hook executor
+  contract (``prepare`` / ``execute_node`` / ``materialize`` / ``evict`` /
+  ``finish``) plus a serial ``run`` template;
+* :class:`~repro.exec.ledger.MemoryLedger` — the shared, thread-safe
+  budget accountant: byte accounting, peak tracking, the consumer-count +
+  materialization-hold release protocol, and dispatch-time reservations
+  for concurrent admission control;
+* a lazy **registry** (:func:`~repro.exec.base.create_backend`) the
+  Controller dispatches on by name.
+
+Built-in backends:
+
+===========  ==========================================================
+name         executor
+===========  ==========================================================
+simulator    serial discrete-event simulator (paper §III-C mechanics)
+lru          LRU result-cache baseline (paper §VI-A; plan-free)
+parallel     memory-bounded parallel scheduler: worker pool over ready
+             DAG nodes, ledger admission control, deterministic logical
+             clocks with seeded tie-breaking
+minidb       the real MiniDB columnar engine with genuine disk I/O and
+             a background materializer thread
+===========  ==========================================================
+
+The parallel scheduler also ships :func:`~repro.exec.parallel.run_threaded`,
+a real thread-pool executor used to measure wall-clock scaling (see
+``benchmarks/bench_parallel_scaling.py``).
+"""
+
+from repro.exec.base import (
+    ExecutionBackend,
+    ExecutionContext,
+    backend_names,
+    create_backend,
+    get_backend,
+    register_backend,
+)
+from repro.exec.ledger import MemoryLedger
+
+__all__ = [
+    "ExecutionBackend",
+    "ExecutionContext",
+    "MemoryLedger",
+    "backend_names",
+    "create_backend",
+    "get_backend",
+    "register_backend",
+]

@@ -1,0 +1,164 @@
+"""ExecutionBackend protocol and the backend registry.
+
+A backend turns a (graph, plan, budget) triple into a
+:class:`~repro.engine.trace.RunTrace` through five hooks:
+
+* :meth:`ExecutionBackend.prepare` — allocate run state (ledger, storage,
+  clocks) and return an :class:`ExecutionContext`;
+* :meth:`ExecutionBackend.execute_node` — run one DAG node;
+* :meth:`ExecutionBackend.materialize` — a node's output became durable
+  on storage (clears its materialization hold in the ledger);
+* :meth:`ExecutionBackend.evict` — drop a node's output from memory;
+* :meth:`ExecutionBackend.finish` — drain outstanding work and summarize.
+
+The default :meth:`ExecutionBackend.run` template executes nodes serially
+in plan order; schedulers (see :mod:`repro.exec.parallel`) override it and
+drive ``execute_node`` from their own dispatch loop.
+
+Backends register under a short name (``"simulator"``, ``"lru"``,
+``"parallel"``, ``"minidb"``) and are constructed through
+:func:`create_backend`, which is what :class:`repro.engine.controller.
+Controller` dispatches on — no executor-specific branches remain in the
+controller.  Registration is lazy: naming a backend imports its module on
+first use, so optional dependencies (MiniDB) stay optional.
+"""
+
+from __future__ import annotations
+
+import abc
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+from repro.core.plan import Plan
+from repro.engine.trace import NodeTrace, RunTrace
+from repro.errors import ValidationError
+from repro.exec.ledger import MemoryLedger
+from repro.graph.dag import DependencyGraph
+from repro.graph.topo import kahn_topological_order
+
+
+@dataclass
+class ExecutionContext:
+    """Per-run state shared between the backend hooks.
+
+    ``ledger`` is the budget accountant every backend must respect;
+    ``payload`` carries backend-specific state (simulator clocks, thread
+    pools, database handles).
+    """
+
+    graph: DependencyGraph
+    plan: Plan | None
+    memory_budget: float
+    method: str = ""
+    ledger: MemoryLedger | None = None
+    payload: Any = None
+    traces: list[NodeTrace] = field(default_factory=list)
+
+
+class ExecutionBackend(abc.ABC):
+    """Base class for refresh-run executors.
+
+    Subclasses set ``name`` (the registry key) and ``requires_plan``
+    (False for executors like the LRU baseline that plan nothing and run
+    in topological order).
+    """
+
+    name: ClassVar[str] = ""
+    requires_plan: ClassVar[bool] = True
+
+    def __init__(self, profile=None, options=None, workers: int = 1,
+                 seed: int = 0, **kwargs) -> None:
+        if workers < 1:
+            raise ValidationError("workers must be >= 1")
+        self.profile = profile
+        self.options = options
+        self.workers = workers
+        self.seed = seed
+        self.extra = kwargs
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def prepare(self, graph: DependencyGraph, plan: Plan | None,
+                memory_budget: float, method: str = "") -> ExecutionContext:
+        """Validate inputs and allocate the run state."""
+
+    @abc.abstractmethod
+    def execute_node(self, ctx: ExecutionContext, node_id: str) -> None:
+        """Execute one node (read inputs, compute, produce output)."""
+
+    def materialize(self, ctx: ExecutionContext, node_id: str) -> None:
+        """Mark ``node_id``'s output durable; releases its ledger hold."""
+        if ctx.ledger is not None and node_id in ctx.ledger:
+            ctx.ledger.materialized(node_id)
+
+    def evict(self, ctx: ExecutionContext, node_id: str) -> None:
+        """Forcibly drop ``node_id``'s output from memory."""
+        if ctx.ledger is not None and node_id in ctx.ledger:
+            ctx.ledger.force_release(node_id)
+
+    @abc.abstractmethod
+    def finish(self, ctx: ExecutionContext) -> RunTrace:
+        """Drain background work and build the run summary."""
+
+    # ------------------------------------------------------------------
+    def run(self, graph: DependencyGraph, plan: Plan | None,
+            memory_budget: float, method: str = "") -> RunTrace:
+        """Template method: prepare, execute every node, finish.
+
+        Serial backends inherit this; schedulers override it.
+        """
+        ctx = self.prepare(graph, plan, memory_budget, method=method)
+        order = (list(ctx.plan.order) if ctx.plan is not None
+                 else kahn_topological_order(graph))
+        for node_id in order:
+            self.execute_node(ctx, node_id)
+        return self.finish(ctx)
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_BACKENDS: dict[str, type[ExecutionBackend]] = {}
+
+#: Where each built-in backend lives; imported on first use so optional
+#: dependencies (numpy for MiniDB) load only when asked for.
+_BACKEND_MODULES: dict[str, str] = {
+    "simulator": "repro.exec.simulator",
+    "lru": "repro.exec.lru",
+    "parallel": "repro.exec.parallel",
+    "minidb": "repro.exec.minidb",
+}
+
+
+def register_backend(cls: type[ExecutionBackend]) -> type[ExecutionBackend]:
+    """Class decorator adding a backend to the registry by its ``name``."""
+    if not cls.name:
+        raise ValidationError(f"backend {cls.__name__} has no name")
+    _BACKENDS[cls.name] = cls
+    return cls
+
+
+def backend_names() -> tuple[str, ...]:
+    """Every dispatchable backend name (registered or lazily importable)."""
+    return tuple(sorted(set(_BACKENDS) | set(_BACKEND_MODULES)))
+
+
+def get_backend(name: str) -> type[ExecutionBackend]:
+    """Resolve a backend class by name, importing its module if needed."""
+    if name not in _BACKENDS and name in _BACKEND_MODULES:
+        importlib.import_module(_BACKEND_MODULES[name])
+    if name not in _BACKENDS:
+        raise ValidationError(
+            f"unknown execution backend {name!r}; "
+            f"choose from {backend_names()}")
+    return _BACKENDS[name]
+
+
+def create_backend(name: str, *, profile=None, options=None,
+                   workers: int = 1, seed: int = 0,
+                   **kwargs) -> ExecutionBackend:
+    """Instantiate a backend with the shared constructor contract."""
+    cls = get_backend(name)
+    return cls(profile=profile, options=options, workers=workers,
+               seed=seed, **kwargs)

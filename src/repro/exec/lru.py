@@ -1,0 +1,52 @@
+"""LRU baseline as an :class:`ExecutionBackend`.
+
+The baseline is plan-free (``requires_plan = False``): nodes run in
+topological order, outputs pay blocking writes, and reads hit a byte-bounded
+LRU cache whose accounting lives in the shared
+:class:`~repro.exec.ledger.MemoryLedger`.  Passing a plan is a usage error
+— the whole point of the baseline is that it makes no flagging decisions.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import Plan
+from repro.engine.lru import LruSimulator
+from repro.engine.trace import RunTrace
+from repro.errors import ValidationError
+from repro.exec.base import (
+    ExecutionBackend,
+    ExecutionContext,
+    register_backend,
+)
+from repro.graph.dag import DependencyGraph
+from repro.metadata.costmodel import DeviceProfile
+
+
+@register_backend
+class LruBackend(ExecutionBackend):
+    """Topological-order execution with an LRU result cache (paper §VI-A)."""
+
+    name = "lru"
+    requires_plan = False
+
+    def prepare(self, graph: DependencyGraph, plan: Plan | None,
+                memory_budget: float, method: str = "lru",
+                ) -> ExecutionContext:
+        if plan is not None:
+            raise ValidationError("the LRU baseline does not take a plan")
+        simulator = LruSimulator(profile=self.profile or DeviceProfile())
+        state = simulator.begin(memory_budget)
+        return ExecutionContext(graph=graph, plan=None,
+                                memory_budget=memory_budget,
+                                method=method or "lru",
+                                ledger=state.cache.ledger,
+                                payload=(simulator, state))
+
+    def execute_node(self, ctx: ExecutionContext, node_id: str) -> None:
+        simulator, state = ctx.payload
+        simulator.run_segment(ctx.graph, [node_id], state)
+        ctx.traces = state.traces
+
+    def finish(self, ctx: ExecutionContext) -> RunTrace:
+        simulator, state = ctx.payload
+        return simulator.finish(state, ctx.memory_budget, method=ctx.method)

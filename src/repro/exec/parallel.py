@@ -1,0 +1,488 @@
+"""Memory-bounded parallel scheduling of DAG nodes.
+
+The paper's Controller executes one refresh statement at a time (§III-B);
+independent DAG nodes are nevertheless the natural unit of parallelism
+(cf. the MapReduce data-cube and column-oriented Datalog materialization
+lines of work in PAPERS.md).  The hard part is that S/C's memory bound is
+*global*: concurrent workers must never jointly push flagged residency
+past the Memory Catalog budget.
+
+Two executors live here, both built on the shared
+:class:`~repro.exec.ledger.MemoryLedger`:
+
+:class:`ParallelSimulatorBackend` (registry name ``"parallel"``)
+    A deterministic discrete-event simulation of ``workers`` logical
+    workers.  A node dispatches when (a) all parents completed, (b) a
+    worker is free, and (c) — **admission control** — if flagged, its
+    output size can be *reserved* against the remaining ledger budget.
+    Reservations count against admission immediately but commit to
+    ``usage``/``peak_usage`` only at output time, so committed peaks keep
+    the serial semantics.  With ``workers=1`` the scheduler switches to
+    *serial-equivalent mode* — plan-order dispatch with output-time
+    admission and the serial simulator's stall-or-spill backpressure —
+    and reproduces the serial trace bit-for-bit.  Logical clocks plus a
+    seeded tie-break priority make every run reproducible for a given
+    seed.
+
+:func:`run_threaded`
+    A real worker pool (OS threads) executing a caller-supplied work
+    function per node under the same ledger admission rule, used to
+    measure *wall-clock* scaling in ``benchmarks/bench_parallel_scaling``
+    and to stress the ledger's thread safety.
+
+Both executors avoid admission deadlock the same way the serial simulator
+escapes drain backpressure: when nothing is running, nothing is draining,
+and no ready node fits, the highest-priority ready node runs *spilled*
+(blocking write, no flag) — so a refresh can always make progress, and
+``on_overflow="error"`` raises instead.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.plan import Plan
+from repro.engine.simulator import SimulatorOptions
+from repro.engine.storage import StorageDevice
+from repro.engine.trace import NodeTrace, RunTrace
+from repro.errors import ExecutionError, ValidationError
+from repro.exec.base import (
+    ExecutionBackend,
+    ExecutionContext,
+    register_backend,
+)
+from repro.exec.ledger import MemoryLedger
+from repro.graph.dag import DependencyGraph, Node
+from repro.graph.topo import check_topological_order
+from repro.metadata.costmodel import DeviceProfile
+
+# Event kinds, ordered so drains at time t apply before completions at t —
+# matching the serial simulator, which drains the catalog before inserting.
+_DRAIN = 0
+_COMPLETE = 1
+
+
+@dataclass
+class _SchedulerState:
+    """Mutable event-loop state of the parallel simulation."""
+
+    storage: StorageDevice
+    deps_left: dict[str, int]
+    priority: dict[str, tuple]
+    now: float = 0.0
+    ready: set[str] = field(default_factory=set)
+    blocked_since: dict[str, float] = field(default_factory=dict)
+    idle_workers: list[int] = field(default_factory=list)
+    events: list[tuple] = field(default_factory=list)
+    seq: "itertools.count" = field(default_factory=itertools.count)
+    running: int = 0
+    drains_pending: int = 0
+    completed: set[str] = field(default_factory=set)
+    spilled: set[str] = field(default_factory=set)
+    traces: list[NodeTrace] = field(default_factory=list)
+    trace_by_id: dict[str, NodeTrace] = field(default_factory=dict)
+    last_completion: float = 0.0
+
+
+@register_backend
+class ParallelSimulatorBackend(ExecutionBackend):
+    """Discrete-event simulation of a memory-bounded worker pool.
+
+    Constructor extras:
+        tie_break: ``"plan"`` (default) prioritizes ready nodes by plan
+            position; ``"random"`` assigns each node a seeded random
+            priority instead — a different but still fully reproducible
+            schedule for a given ``seed``.
+    """
+
+    name = "parallel"
+
+    def prepare(self, graph: DependencyGraph, plan: Plan | None,
+                memory_budget: float, method: str = "") -> ExecutionContext:
+        if plan is None:
+            raise ValidationError(
+                "the parallel backend requires a plan; optimize first")
+        if memory_budget < 0:
+            raise ValidationError("memory_budget must be >= 0")
+        check_topological_order(graph, plan.order)
+        tie_break = self.extra.get("tie_break", "plan")
+        if tie_break not in ("plan", "random"):
+            raise ValidationError("tie_break must be 'plan' or 'random'")
+        rng = random.Random(self.seed)
+        position = plan.positions()
+        if tie_break == "random" and self.workers > 1:
+            priority = {v: (rng.random(), position[v]) for v in plan.order}
+        else:  # workers == 1 always follows the plan order (serial mode)
+            priority = {v: (position[v],) for v in plan.order}
+        state = _SchedulerState(
+            storage=StorageDevice(profile=self.profile or DeviceProfile()),
+            deps_left={v: graph.in_degree(v) for v in graph.nodes()},
+            priority=priority,
+            idle_workers=list(range(self.workers)),
+        )
+        heapq.heapify(state.idle_workers)
+        state.ready = {v for v, d in state.deps_left.items() if d == 0}
+        return ExecutionContext(graph=graph, plan=plan,
+                                memory_budget=memory_budget, method=method,
+                                ledger=MemoryLedger(budget=memory_budget),
+                                payload=state)
+
+    # ------------------------------------------------------------------
+    def run(self, graph: DependencyGraph, plan: Plan | None,
+            memory_budget: float, method: str = "") -> RunTrace:
+        ctx = self.prepare(graph, plan, memory_budget, method=method)
+        state = ctx.payload
+        self._dispatch_round(ctx)
+        while len(state.completed) < graph.n:
+            if not state.events:
+                raise ExecutionError(
+                    "parallel scheduler stalled: "
+                    f"{graph.n - len(state.completed)} nodes unreachable")
+            self._process_next_event(ctx)
+            self._dispatch_round(ctx)
+        return self.finish(ctx)
+
+    # ------------------------------------------------------------------
+    def execute_node(self, ctx: ExecutionContext, node_id: str) -> None:
+        """Charge one node's timeline from ``state.now`` on a free worker.
+
+        Reads route through the ledger (memory bandwidth for resident
+        flagged parents, storage otherwise), compute applies the option's
+        penalty, and the output either finishes in memory (flagged — the
+        ledger commit happens at the completion event) or pays a blocking
+        storage write.
+        """
+        state: _SchedulerState = ctx.payload
+        options = self.options or SimulatorOptions()
+        profile = self.profile or DeviceProfile()
+        graph = ctx.graph
+        node = graph.node(node_id)
+        worker = heapq.heappop(state.idle_workers)
+        flagged = (node_id in ctx.plan.flagged
+                   and node_id not in state.spilled)
+        trace = NodeTrace(node_id=node_id, start=state.now, flagged=flagged)
+        if node_id in state.blocked_since:
+            trace.stall = state.now - state.blocked_since.pop(node_id)
+        clock = state.now
+
+        input_bytes = 0.0
+        for parent in graph.parents(node_id):
+            size = graph.size_of(parent)
+            input_bytes += size
+            if parent in ctx.ledger and parent not in state.spilled:
+                duration = profile.read_time_memory(size)
+                trace.read_memory += duration
+            else:
+                duration = state.storage.read_duration(size, clock)
+                trace.read_disk += duration
+            clock += duration
+        base_bytes = float(node.meta.get("base_input_gb", 0.0))
+        if base_bytes > 0:
+            duration = state.storage.read_duration(base_bytes, clock)
+            trace.read_disk += duration
+            clock += duration
+            input_bytes += base_bytes
+
+        compute = (node.compute_time if node.compute_time is not None
+                   else profile.compute_time(input_bytes))
+        compute *= 1.0 + options.compute_penalty
+        trace.compute = compute
+        clock += compute
+
+        if flagged and self.workers == 1:
+            # serial-equivalent mode: the output (admission, possible
+            # stall/spill, memory create) happens at the completion event
+            pass
+        elif flagged:
+            duration = profile.create_time_memory(node.size)
+            trace.create_memory = duration
+            clock += duration
+        else:
+            duration = state.storage.write_duration(node.size, clock)
+            trace.write = duration
+            clock += duration
+
+        trace.end = clock
+        state.ready.discard(node_id)
+        state.running += 1
+        state.traces.append(trace)
+        state.trace_by_id[node_id] = trace
+        heapq.heappush(state.events,
+                       (clock, _COMPLETE, next(state.seq), node_id, worker))
+
+    # ------------------------------------------------------------------
+    def _dispatch_round(self, ctx: ExecutionContext) -> None:
+        """Start every node that is ready, admissible, and has a worker."""
+        state: _SchedulerState = ctx.payload
+        options = self.options or SimulatorOptions()
+        while state.idle_workers and state.ready:
+            candidates = sorted(state.ready, key=state.priority.__getitem__)
+            if self.workers == 1:
+                # serial-equivalent mode: always run the next plan-order
+                # node; admission happens at its output, as in §III-C
+                self.execute_node(ctx, candidates[0])
+                continue
+            chosen = None
+            for node_id in candidates:
+                if (node_id in ctx.plan.flagged
+                        and node_id not in state.spilled):
+                    if ctx.ledger.reserve(node_id, ctx.graph.size_of(node_id)):
+                        chosen = node_id
+                        break
+                    state.blocked_since.setdefault(node_id, state.now)
+                else:
+                    chosen = node_id
+                    break
+            if chosen is None:
+                # Every ready node is flagged and over budget.  If work is
+                # in flight, a completion or drain will free space; if not,
+                # waiting cannot help — spill the best candidate (or raise).
+                if state.running > 0 or state.drains_pending > 0:
+                    return
+                if options.strict_budget or options.on_overflow == "error":
+                    node_id = candidates[0]
+                    raise ExecutionError(
+                        f"Memory Catalog cannot host {node_id!r} "
+                        f"({ctx.graph.size_of(node_id):.6g} GB; "
+                        f"{ctx.ledger.available:.6g} free)")
+                state.spilled.add(candidates[0])
+                continue
+            self.execute_node(ctx, chosen)
+
+    def _process_next_event(self, ctx: ExecutionContext) -> None:
+        state: _SchedulerState = ctx.payload
+        event_time, kind, _, node_id, worker = heapq.heappop(state.events)
+        state.now = event_time
+        if kind == _DRAIN:
+            state.drains_pending -= 1
+            self.materialize(ctx, node_id)
+            return
+        # completion
+        graph = ctx.graph
+        end_clock = event_time
+        if node_id in ctx.plan.flagged and node_id not in state.spilled:
+            if self.workers == 1:
+                end_clock = self._serial_output(ctx, node_id)
+            else:
+                ctx.ledger.commit_reservation(
+                    node_id, n_consumers=graph.out_degree(node_id),
+                    materialization_pending=True)
+                drained_at = state.storage.submit_background_write(
+                    node_id, graph.size_of(node_id), event_time)
+                heapq.heappush(state.events,
+                               (drained_at, _DRAIN, next(state.seq),
+                                node_id, None))
+                state.drains_pending += 1
+        state.now = end_clock
+        for parent in graph.parents(node_id):
+            if parent in ctx.ledger and parent not in state.spilled:
+                ctx.ledger.consumer_done(parent)
+        heapq.heappush(state.idle_workers, worker)
+        state.running -= 1
+        state.completed.add(node_id)
+        state.last_completion = max(state.last_completion, end_clock)
+        for child in graph.children(node_id):
+            state.deps_left[child] -= 1
+            if state.deps_left[child] == 0:
+                state.ready.add(child)
+
+    def _serial_output(self, ctx: ExecutionContext, node_id: str) -> float:
+        """Serial-mode flagged output: admission at output time (§III-C).
+
+        Reproduces the serial simulator's backpressure exactly: stall for
+        pending drains while waiting is cheaper than a blocking write,
+        spill otherwise (or raise under ``on_overflow="error"``).
+        Returns the post-output clock.
+        """
+        state: _SchedulerState = ctx.payload
+        options = self.options or SimulatorOptions()
+        profile = self.profile or DeviceProfile()
+        trace = state.trace_by_id[node_id]
+        size = ctx.graph.size_of(node_id)
+        ledger = ctx.ledger
+        clock = state.now
+
+        can_spill = (not options.strict_budget
+                     and options.on_overflow == "spill")
+        spill_cost = state.storage.write_duration(size, clock)
+        deadline = clock + spill_cost if can_spill else float("inf")
+        while not ledger.fits(size) and state.drains_pending > 0:
+            event_time = state.events[0][0]
+            if event_time <= clock:
+                self._pop_drains_until(ctx, clock)
+                continue
+            if event_time > deadline:
+                break  # waiting costs more than writing through
+            trace.stall += event_time - clock
+            clock = event_time
+            self._pop_drains_until(ctx, clock)
+
+        if not ledger.fits(size):
+            if options.strict_budget or options.on_overflow == "error":
+                raise ExecutionError(
+                    f"Memory Catalog cannot host {node_id!r} "
+                    f"({size:.6g} GB; {ledger.available:.6g} free)")
+            state.spilled.add(node_id)
+            duration = state.storage.write_duration(size, clock)
+            trace.write = duration
+            clock += duration
+        else:
+            duration = profile.create_time_memory(size)
+            trace.create_memory = duration
+            clock += duration
+            ledger.insert(node_id, size,
+                          n_consumers=ctx.graph.out_degree(node_id),
+                          materialization_pending=True)
+            drained_at = state.storage.submit_background_write(
+                node_id, size, clock)
+            heapq.heappush(state.events,
+                           (drained_at, _DRAIN, next(state.seq),
+                            node_id, None))
+            state.drains_pending += 1
+        self._pop_drains_until(ctx, clock)
+        trace.end = clock
+        return clock
+
+    def _pop_drains_until(self, ctx: ExecutionContext, now: float) -> None:
+        """Apply queued drain events with ``time <= now``."""
+        state: _SchedulerState = ctx.payload
+        while (state.events and state.events[0][0] <= now
+               and state.events[0][1] == _DRAIN):
+            _, _, _, node_id, _ = heapq.heappop(state.events)
+            state.drains_pending -= 1
+            self.materialize(ctx, node_id)
+
+    # ------------------------------------------------------------------
+    def finish(self, ctx: ExecutionContext) -> RunTrace:
+        state: _SchedulerState = ctx.payload
+        while state.events:  # apply outstanding drains
+            _, kind, _, node_id, _ = heapq.heappop(state.events)
+            if kind == _DRAIN:
+                self.materialize(ctx, node_id)
+        drained = state.storage.drained_at()
+        return RunTrace(
+            nodes=state.traces,
+            end_to_end_time=max(state.last_completion, drained),
+            compute_finished_at=state.last_completion,
+            background_drained_at=drained,
+            peak_catalog_usage=ctx.ledger.peak_usage,
+            memory_budget=ctx.memory_budget,
+            method=ctx.method,
+        )
+
+
+# ----------------------------------------------------------------------
+# real thread-pool execution (wall-clock scaling)
+# ----------------------------------------------------------------------
+def run_threaded(graph: DependencyGraph, plan: Plan, memory_budget: float,
+                 workers: int = 2,
+                 work: Callable[[Node], None] | None = None,
+                 time_scale: float = 1.0) -> RunTrace:
+    """Execute ``plan`` with real OS threads under ledger admission.
+
+    ``work`` runs once per node on a pool thread (default: sleep for the
+    node's ``compute_time`` scaled by ``time_scale`` — sleeps release the
+    GIL, so the concurrency, and therefore the measured wall-clock
+    speedup, is genuine).  Flagged outputs are admitted into a shared
+    :class:`MemoryLedger` *before* dispatch under one lock, so concurrent
+    workers can never exceed ``memory_budget``; a flagged node that cannot
+    be admitted waits for releases, or spills (runs unflagged) when
+    nothing is in flight to free space.
+
+    Returns a :class:`RunTrace` of wall-clock (``perf_counter``) timings.
+    """
+    if workers < 1:
+        raise ValidationError("workers must be >= 1")
+    check_topological_order(graph, plan.order)
+    if work is None:
+        def work(node: Node) -> None:
+            time.sleep(max(node.compute_time or 0.0, 0.0) * time_scale)
+
+    ledger = MemoryLedger(budget=memory_budget)
+    position = plan.positions()
+    cv = threading.Condition()
+    deps_left = {v: graph.in_degree(v) for v in graph.nodes()}
+    ready = {v for v, d in deps_left.items() if d == 0}
+    running: set[str] = set()
+    completed: set[str] = set()
+    spilled: set[str] = set()
+    traces: dict[str, NodeTrace] = {}
+    started = time.perf_counter()
+
+    def finish_node(node_id: str, flagged: bool) -> None:
+        with cv:
+            traces[node_id].end = time.perf_counter() - started
+            if flagged:
+                # output is durable once the task returns; clear the hold
+                ledger.materialized(node_id)
+            for parent in graph.parents(node_id):
+                if parent in ledger:
+                    ledger.consumer_done(parent)
+            running.discard(node_id)
+            completed.add(node_id)
+            for child in graph.children(node_id):
+                deps_left[child] -= 1
+                if deps_left[child] == 0:
+                    ready.add(child)
+            cv.notify_all()
+
+    def task(node_id: str, flagged: bool) -> None:
+        node = graph.node(node_id)
+        try:
+            work(node)
+        finally:
+            finish_node(node_id, flagged)
+
+    with ThreadPoolExecutor(max_workers=workers,
+                            thread_name_prefix="refresh") as pool:
+        with cv:
+            while len(completed) < graph.n:
+                dispatched = False
+                for node_id in sorted(ready, key=position.__getitem__):
+                    if len(running) >= workers:
+                        break
+                    flagged = (node_id in plan.flagged
+                               and node_id not in spilled)
+                    if flagged and not ledger.try_insert(
+                            node_id, graph.size_of(node_id),
+                            n_consumers=graph.out_degree(node_id),
+                            materialization_pending=True):
+                        continue  # blocked on admission; try the next node
+                    trace = NodeTrace(
+                        node_id=node_id,
+                        start=time.perf_counter() - started,
+                        flagged=flagged)
+                    trace.compute = max(graph.node(node_id).compute_time
+                                        or 0.0, 0.0) * time_scale
+                    traces[node_id] = trace
+                    ready.discard(node_id)
+                    running.add(node_id)
+                    pool.submit(task, node_id, flagged)
+                    dispatched = True
+                if len(completed) >= graph.n:
+                    break
+                if not dispatched:
+                    if not running and ready:
+                        # nothing in flight can free space: force progress
+                        spilled.add(min(ready, key=position.__getitem__))
+                        continue
+                    cv.wait(timeout=0.5)
+
+    wall = time.perf_counter() - started
+    ordered = sorted(traces.values(), key=lambda t: (t.start, t.node_id))
+    return RunTrace(
+        nodes=ordered,
+        end_to_end_time=wall,
+        compute_finished_at=wall,
+        background_drained_at=wall,
+        peak_catalog_usage=ledger.peak_usage,
+        memory_budget=memory_budget,
+        method=f"threaded[{workers}]",
+    )

@@ -1,0 +1,55 @@
+"""Serial discrete-event simulator as an :class:`ExecutionBackend`.
+
+Adapts the resumable :class:`~repro.engine.simulator.RefreshSimulator`
+(begin / run_segment / finish) onto the five-hook backend protocol so the
+Controller can dispatch to it by name.  The simulation mechanics — input
+routing through the Memory Catalog, background materialization, drain
+backpressure — stay in :mod:`repro.engine.simulator`; this module owns
+only the protocol plumbing.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import Plan
+from repro.engine.simulator import RefreshSimulator, SimulatorOptions
+from repro.engine.trace import RunTrace
+from repro.errors import ValidationError
+from repro.exec.base import (
+    ExecutionBackend,
+    ExecutionContext,
+    register_backend,
+)
+from repro.graph.dag import DependencyGraph
+from repro.graph.topo import check_topological_order
+from repro.metadata.costmodel import DeviceProfile
+
+
+@register_backend
+class SerialSimulatorBackend(ExecutionBackend):
+    """The paper's serial execution model (§III-C), one node at a time."""
+
+    name = "simulator"
+
+    def prepare(self, graph: DependencyGraph, plan: Plan | None,
+                memory_budget: float, method: str = "") -> ExecutionContext:
+        if plan is None:
+            raise ValidationError(
+                "the simulator backend requires a plan; optimize first")
+        check_topological_order(graph, plan.order)
+        simulator = RefreshSimulator(
+            profile=self.profile or DeviceProfile(),
+            options=self.options or SimulatorOptions())
+        state = simulator.begin(memory_budget)
+        return ExecutionContext(graph=graph, plan=plan,
+                                memory_budget=memory_budget, method=method,
+                                ledger=state.catalog,
+                                payload=(simulator, state))
+
+    def execute_node(self, ctx: ExecutionContext, node_id: str) -> None:
+        simulator, state = ctx.payload
+        simulator.run_segment(ctx.graph, [node_id], ctx.plan.flagged, state)
+        ctx.traces = state.traces
+
+    def finish(self, ctx: ExecutionContext) -> RunTrace:
+        simulator, state = ctx.payload
+        return simulator.finish(state, ctx.memory_budget, method=ctx.method)
