@@ -4,9 +4,13 @@ Subcommands:
 
 * ``optimize`` — read a dependency-graph JSON, write/print the S/C plan.
 * ``simulate`` — run a plan (or optimize first) through the refresh
-  simulator and print the timing summary + Gantt chart.
+  simulator and print the timing summary + Gantt chart; ``--tier``
+  arms the tiered spill store (``--tier ram:4 --tier ssd:8 --tier
+  disk:inf``).
 * ``workload`` — emit one of the paper's five workloads as graph JSON.
 * ``bench`` — run one experiment driver (fig2..fig14, table3..table5).
+* ``minidb`` — refresh a demo SQL workload on the real MiniDB backend;
+  ``--spill-dir`` arms real spill-to-disk.
 """
 
 from __future__ import annotations
@@ -20,8 +24,12 @@ from repro.core.optimizer import OPTIMIZER_METHODS, optimize, plan_summary
 from repro.core.plan import Plan
 from repro.core.problem import ScProblem
 from repro.engine.controller import Controller
+from repro.engine.simulator import SimulatorOptions
+from repro.errors import ValidationError
 from repro.exec.base import backend_names
 from repro.graph.io import graph_from_json, graph_to_json
+from repro.store.config import SpillConfig, parse_tier
+from repro.store.policy import policy_names
 from repro.workloads.five_workloads import WORKLOAD_NAMES, build_workload
 
 _EXPERIMENTS = {
@@ -37,6 +45,7 @@ _EXPERIMENTS = {
     "fig13": experiments.fig13_optimization_time,
     "fig14": experiments.fig14_parameter_sweep,
     "parallel": experiments.parallel_scaling,
+    "spill": experiments.spill_tier_sweep,
 }
 
 
@@ -59,19 +68,32 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_sim = sub.add_parser("simulate", help="simulate a refresh run")
     p_sim.add_argument("graph", help="path to dependency-graph JSON")
-    p_sim.add_argument("--memory", type=float, required=True)
+    p_sim.add_argument("--memory", type=float,
+                       help="RAM budget (or pass --tier ram:SIZE)")
     p_sim.add_argument("--method", default="sc",
                        choices=sorted(OPTIMIZER_METHODS) + ["lru"])
     p_sim.add_argument("--plan", help="optional pre-computed plan JSON")
     p_sim.add_argument("--seed", type=int, default=0)
     # minidb is excluded: it needs a SqlWorkload, which simulate's
-    # graph-JSON input cannot provide
+    # graph-JSON input cannot provide (see the 'minidb' subcommand)
     graph_backends = sorted(set(backend_names()) - {"minidb"})
     p_sim.add_argument("--backend", choices=graph_backends,
                        help="execution backend (default: serial simulator;"
                             " 'parallel' runs the memory-bounded scheduler)")
     p_sim.add_argument("--workers", type=int, default=1,
                        help="worker count for the parallel backend")
+    p_sim.add_argument("--tier", action="append", default=[],
+                       metavar="NAME:GB",
+                       help="storage tier, repeatable and ordered "
+                            "(e.g. --tier ram:4 --tier ssd:8 --tier "
+                            "disk:inf); any tier besides 'ram' arms "
+                            "spill-to-disk")
+    p_sim.add_argument("--spill-policy", default="cost",
+                       choices=sorted(policy_names()),
+                       help="victim-selection policy for spilling")
+    p_sim.add_argument("--no-promote", action="store_true",
+                       help="leave spilled tables in their tier instead "
+                            "of promoting them back to RAM after a read")
     p_sim.add_argument("--gantt", action="store_true",
                        help="print an ASCII execution timeline")
 
@@ -84,6 +106,27 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser("bench", help="run one paper experiment")
     p_bench.add_argument("experiment", choices=sorted(_EXPERIMENTS))
+
+    p_db = sub.add_parser(
+        "minidb", help="refresh a demo SQL workload on the real MiniDB")
+    p_db.add_argument("--memory", type=float, required=True,
+                      help="RAM budget in GB for the memory catalog")
+    p_db.add_argument("--rows", type=int, default=120_000,
+                      help="base-table rows of the demo workload")
+    p_db.add_argument("--data-dir",
+                      help="MiniDB storage directory (default: a "
+                           "temporary directory)")
+    p_db.add_argument("--spill-dir",
+                      help="arm real spill-to-disk into this directory")
+    p_db.add_argument("--spill-policy", default="cost",
+                      choices=sorted(policy_names()))
+    p_db.add_argument("--plan-memory", type=float,
+                      help="optimize the plan for this budget instead of "
+                           "--memory (a bigger machine's plan, executed "
+                           "under the smaller RAM budget)")
+    p_db.add_argument("--method", default="sc",
+                      choices=sorted(OPTIMIZER_METHODS))
+    p_db.add_argument("--seed", type=int, default=0)
 
     p_exp = sub.add_parser(
         "explain", help="explain a plan's flag decisions node by node")
@@ -129,14 +172,64 @@ def _cmd_optimize(args) -> int:
     return 0
 
 
+def _spill_setup(args) -> tuple[float, SpillConfig | None]:
+    """Resolve (ram_budget, spill config) from --memory/--tier flags."""
+    specs = [parse_tier(text) for text in args.tier]
+    ram = [spec for spec in specs if spec.name == "ram"]
+    lower = tuple(spec for spec in specs if spec.name != "ram")
+    if len(ram) > 1:
+        raise ValidationError("pass at most one 'ram' tier")
+    if ram and args.memory is not None:
+        raise ValidationError(
+            "pass the RAM budget once: either --memory or --tier ram:SIZE")
+    if ram:
+        memory = ram[0].budget
+    elif args.memory is not None:
+        memory = args.memory
+    else:
+        raise ValidationError(
+            "a RAM budget is required: --memory or --tier ram:SIZE")
+    if not lower:
+        return memory, None
+    return memory, SpillConfig(tiers=lower, policy=args.spill_policy,
+                               promote=not args.no_promote)
+
+
+def _print_spill_stats(trace) -> None:
+    report = trace.extras.get("tiered_store")
+    if not report:
+        return
+    print(f"spills:            {report['spill_count']} "
+          f"({report['spill_bytes_gb']:.3f} GB) "
+          f"[policy {report['policy']}]")
+    print(f"promotes:          {report['promote_count']} "
+          f"({report['promote_bytes_gb']:.3f} GB)")
+    print(f"spill/promote t:   {trace.spill_time:.3f} s")
+    for tier in report["tiers"]:
+        budget = ("unbounded" if tier["budget"] == float("inf")
+                  else f"{tier['budget']:.3f}")
+        print(f"  tier {tier['name']:<10s} peak {tier['peak']:9.3f} "
+              f"/ {budget}")
+
+
 def _cmd_simulate(args) -> int:
     graph = _load_graph(args.graph)
-    controller = Controller()
+    try:
+        memory, spill = _spill_setup(args)
+        if spill is not None and ("lru" in (args.method, args.backend)):
+            raise ValidationError(
+                "the LRU baseline does not support storage tiers; drop "
+                "--tier or pick another method/backend")
+    except ValidationError as exc:
+        # bad flag combinations keep argparse's usage-error contract
+        print(f"repro-sc simulate: error: {exc}", file=sys.stderr)
+        return 2
+    controller = Controller(options=SimulatorOptions(spill=spill))
     plan = None
     if args.plan:
         with open(args.plan, encoding="utf-8") as handle:
             plan = Plan.from_json(handle.read())
-    trace = controller.refresh(graph, args.memory, method=args.method,
+    trace = controller.refresh(graph, memory, method=args.method,
                                seed=args.seed, plan=plan,
                                backend=args.backend, workers=args.workers)
     print(f"method:            {args.method}")
@@ -151,6 +244,7 @@ def _cmd_simulate(args) -> int:
     print(f"stall:             {trace.stall_time:.3f} s")
     print(f"peak catalog use:  {trace.peak_catalog_usage:.3f} "
           f"/ {trace.memory_budget:.3f}")
+    _print_spill_stats(trace)
     if args.gantt:
         print()
         print(trace.gantt())
@@ -172,6 +266,73 @@ def _cmd_workload(args) -> int:
 def _cmd_bench(args) -> int:
     result = _EXPERIMENTS[args.experiment]()
     print(result.render())
+    return 0
+
+
+def _demo_workload(data_dir: str, rows: int, seed: int):
+    """A small six-MV SQL workload over one generated base table."""
+    import numpy as np
+
+    from repro.db.engine import MiniDB, MvDefinition, SqlWorkload
+    from repro.db.table import Table
+
+    db = MiniDB(data_dir)
+    rng = np.random.default_rng(seed)
+    db.register_table("events", Table({
+        "user": rng.integers(0, 50, rows),
+        "amount": rng.uniform(0, 10, rows),
+    }))
+    return SqlWorkload(db=db, definitions=[
+        MvDefinition("mv_recent",
+                     "SELECT user, amount FROM events WHERE amount > 1"),
+        MvDefinition("mv_big",
+                     "SELECT user, amount FROM mv_recent WHERE amount > 2"),
+        MvDefinition("mv_spend",
+                     "SELECT user, SUM(amount) AS spend "
+                     "FROM mv_recent GROUP BY user"),
+        MvDefinition("mv_whales",
+                     "SELECT user, amount FROM mv_big WHERE amount > 5"),
+        MvDefinition("mv_big_spend",
+                     "SELECT user, SUM(amount) AS spend "
+                     "FROM mv_big GROUP BY user"),
+        MvDefinition("mv_vip",
+                     "SELECT user, amount FROM mv_whales WHERE amount > 8"),
+    ])
+
+
+def _run_minidb(args, data_dir: str):
+    workload = _demo_workload(data_dir, rows=args.rows, seed=args.seed)
+    profiled = workload.profile()
+    controller = Controller(spill_dir=args.spill_dir,
+                            spill=SpillConfig(policy=args.spill_policy))
+    plan_memory = (args.memory if args.plan_memory is None
+                   else args.plan_memory)
+    plan = controller.plan(profiled, plan_memory,
+                           method=args.method, seed=args.seed)
+    trace = controller.refresh_on_minidb(
+        workload, args.memory, method=args.method, seed=args.seed,
+        plan=plan)
+    return plan, trace
+
+
+def _cmd_minidb(args) -> int:
+    if args.data_dir:
+        plan, trace = _run_minidb(args, args.data_dir)
+    else:
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as scratch:
+            plan, trace = _run_minidb(args, f"{scratch}/warehouse")
+    print(f"method:            {args.method} "
+          f"({len(plan.flagged)}/{len(plan.order)} MVs flagged)")
+    print(f"end-to-end time:   {trace.end_to_end_time:.3f} s")
+    print(f"table read:        {trace.table_read_latency:.3f} s")
+    print(f"compute:           {trace.compute_latency:.3f} s")
+    print(f"blocking write:    {trace.write_latency:.3f} s")
+    print(f"stall:             {trace.stall_time:.3f} s")
+    print(f"peak catalog use:  {trace.peak_catalog_usage:.6f} "
+          f"/ {trace.memory_budget:.6f} GB")
+    _print_spill_stats(trace)
     return 0
 
 
@@ -210,6 +371,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "workload": _cmd_workload,
         "bench": _cmd_bench,
+        "minidb": _cmd_minidb,
         "explain": _cmd_explain,
         "pipeline": _cmd_pipeline,
     }

@@ -24,7 +24,7 @@ release protocol are identical no matter how a plan executes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.optimizer import optimize
 from repro.core.plan import Plan
@@ -35,6 +35,7 @@ from repro.errors import ValidationError
 from repro.exec.base import create_backend
 from repro.graph.dag import DependencyGraph
 from repro.metadata.costmodel import DeviceProfile
+from repro.store.config import SpillConfig
 
 
 @dataclass
@@ -46,12 +47,29 @@ class Controller:
         options: simulator runtime policy.
         backend: default execution backend name (overridable per call).
         workers: default worker count for parallel backends.
+        spill: optional tiered-store configuration applied to simulated
+            backends (shorthand for ``options.spill``; per-tier usage and
+            spill/promote counts surface in ``RunTrace.extras``).
+        spill_dir: optional directory arming *real* spill-to-disk on the
+            MiniDB backend (:meth:`refresh_on_minidb`).
     """
 
     profile: DeviceProfile = field(default_factory=DeviceProfile)
     options: SimulatorOptions = field(default_factory=SimulatorOptions)
     backend: str = "simulator"
     workers: int = 1
+    spill: SpillConfig | None = None
+    spill_dir: str | None = None
+
+    def _effective_options(self) -> SimulatorOptions:
+        if self.spill is None:
+            return self.options
+        if self.options.spill is not None and \
+                self.options.spill != self.spill:
+            raise ValidationError(
+                "conflicting spill configurations: set either "
+                "Controller.spill or options.spill, not both")
+        return replace(self.options, spill=self.spill)
 
     # ------------------------------------------------------------------
     def plan(self, graph: DependencyGraph, memory_budget: float,
@@ -75,8 +93,15 @@ class Controller:
         if method == "lru" and name != "lru":
             raise ValidationError(
                 f"method 'lru' runs on the 'lru' backend, not {name!r}")
+        options = self._effective_options()
+        if name == "lru" and options.spill is not None:
+            # the baseline would silently drop the tier hierarchy and
+            # report a run the user believes was tiered
+            raise ValidationError(
+                "the LRU baseline does not support storage tiers; "
+                "disable spill or pick another backend")
         executor = create_backend(
-            name, profile=self.profile, options=self.options,
+            name, profile=self.profile, options=options,
             workers=self.workers if workers is None else workers, seed=seed)
         if not executor.requires_plan:
             if method != name:
@@ -93,17 +118,29 @@ class Controller:
 
     # ------------------------------------------------------------------
     def refresh_on_minidb(self, workload, memory_budget: float,
-                          method: str = "sc", seed: int = 0) -> RunTrace:
+                          method: str = "sc", seed: int = 0,
+                          plan: Plan | None = None) -> RunTrace:
         """Execute a SQL workload on the real MiniDB backend.
 
         ``workload`` is a :class:`repro.db.engine.SqlWorkload` — a MiniDB
         instance plus MV definitions forming the dependency graph. Timings
         in the returned trace are wall-clock measurements of real operator
         execution and real (compressed) disk I/O.
+
+        A pre-computed ``plan`` may assume more memory than
+        ``memory_budget`` grants (a plan built for a bigger machine);
+        with ``spill_dir`` set the run then completes through real
+        spills instead of losing flags to blocking writes.
         """
         graph = workload.graph()
-        plan = self.plan(graph, memory_budget, method=method, seed=seed)
+        if plan is None:
+            plan = self.plan(graph, memory_budget, method=method, seed=seed)
+        extra = {}
+        if self.spill_dir:
+            extra["spill_dir"] = self.spill_dir
+            extra["spill_policy"] = (self.spill.policy if self.spill
+                                     else "cost")
         executor = create_backend(  # lazy import: optional numpy dep
             "minidb", profile=self.profile, options=self.options,
-            seed=seed, workload=workload)
+            seed=seed, workload=workload, **extra)
         return executor.run(graph, plan, memory_budget, method=method)

@@ -36,9 +36,11 @@ from repro.engine.memory_catalog import MemoryCatalog
 from repro.engine.storage import StorageDevice
 from repro.engine.trace import NodeTrace, RunTrace
 from repro.errors import ExecutionError, ValidationError
+from repro.exec.ledger import MemoryLedger
 from repro.graph.dag import DependencyGraph
 from repro.graph.topo import check_topological_order
 from repro.metadata.costmodel import DeviceProfile
+from repro.store.config import SpillConfig
 
 
 @dataclass(frozen=True)
@@ -54,17 +56,26 @@ class SimulatorOptions:
             of spare memory (Figure 11b); 0 means spare memory.
         strict_budget: raise instead of stalling when the *positional* plan
             itself is infeasible (optimizer bug guard in tests).
+        spill: optional :class:`~repro.store.config.SpillConfig` enabling
+            the tiered store — flagged outputs that do not fit in RAM
+            demote victims to lower tiers (charging those tiers' device
+            times) instead of stalling or losing their flag.  ``None``
+            (default) keeps the original single-tier behavior exactly.
     """
 
     on_overflow: str = "spill"
     compute_penalty: float = 0.0
     strict_budget: bool = False
+    spill: SpillConfig | None = None
 
     def __post_init__(self) -> None:
         if self.on_overflow not in ("spill", "error"):
             raise ValidationError("on_overflow must be 'spill' or 'error'")
         if self.compute_penalty < 0:
             raise ValidationError("compute_penalty must be >= 0")
+        if self.spill is not None and not isinstance(self.spill,
+                                                     SpillConfig):
+            raise ValidationError("spill must be a SpillConfig or None")
 
 
 @dataclass
@@ -79,7 +90,7 @@ class SimulatorState:
     forcing flagged nodes to materialize at the boundary.
     """
 
-    catalog: MemoryCatalog
+    catalog: MemoryLedger
     storage: StorageDevice
     drain_events: list[tuple[float, str]] = field(default_factory=list)
     spilled: set[str] = field(default_factory=set)
@@ -104,7 +115,14 @@ class RefreshSimulator:
         """Fresh mid-run state for segment-wise execution."""
         if memory_budget < 0:
             raise ValidationError("memory_budget must be >= 0")
-        return SimulatorState(catalog=MemoryCatalog(budget=memory_budget),
+        if self.options.spill is not None:
+            from repro.store.tiered import TieredLedger
+
+            catalog: MemoryLedger = TieredLedger(
+                memory_budget, self.options.spill, profile=self.profile)
+        else:
+            catalog = MemoryCatalog(budget=memory_budget)
+        return SimulatorState(catalog=catalog,
                               storage=StorageDevice(profile=self.profile))
 
     def run(self, graph: DependencyGraph, plan: Plan,
@@ -139,12 +157,12 @@ class RefreshSimulator:
                 size = graph.size_of(parent)
                 input_bytes += size
                 if parent in catalog and parent not in state.spilled:
-                    duration = self.profile.read_time_memory(size)
-                    trace.read_memory += duration
+                    clock = self._read_resident(parent, size, clock,
+                                                catalog, trace)
                 else:
                     duration = storage.read_duration(size, clock)
                     trace.read_disk += duration
-                clock += duration
+                    clock += duration
             base_bytes = float(node.meta.get("base_input_gb", 0.0))
             if base_bytes > 0:
                 duration = storage.read_duration(base_bytes, clock)
@@ -187,6 +205,10 @@ class RefreshSimulator:
         drained = state.storage.drained_at()
         self._apply_drains(state.catalog, state.drain_events,
                            max(compute_finished, drained))
+        extras = {}
+        report = getattr(state.catalog, "tier_report", None)
+        if callable(report):
+            extras["tiered_store"] = report()
         return RunTrace(
             nodes=state.traces,
             end_to_end_time=max(compute_finished, drained),
@@ -195,9 +217,31 @@ class RefreshSimulator:
             peak_catalog_usage=state.catalog.peak_usage,
             memory_budget=memory_budget,
             method=method,
+            extras=extras,
         )
 
     # ------------------------------------------------------------------
+    def _read_resident(self, parent: str, size: float, clock: float,
+                       catalog: MemoryLedger, trace: NodeTrace) -> float:
+        """Charge reading a resident parent from whichever tier holds it.
+
+        RAM-resident parents pay memory bandwidth as before; parents
+        spilled to a lower tier pay that tier's device read and, when
+        promotion is on and RAM has room, one in-memory create to copy
+        them back up for later consumers.
+        """
+        spill = self.options.spill
+        if spill is not None:
+            from repro.store.tiered import charge_resident_read
+
+            handled, clock = charge_resident_read(catalog, spill, parent,
+                                                  clock, trace)
+            if handled:
+                return clock
+        duration = self.profile.read_time_memory(size)
+        trace.read_memory += duration
+        return clock + duration
+
     def _create_in_memory(self, graph: DependencyGraph, node_id: str,
                           size: float, clock: float, catalog: MemoryCatalog,
                           storage: StorageDevice,
@@ -210,8 +254,16 @@ class RefreshSimulator:
         space frees, or give up the flag and pay the blocking write. It
         stalls only while the wait is cheaper than the spill — so a plan can
         never lose more than one blocking write to drain backpressure.
+
+        With a tiered store configured the trade is different: demoting a
+        cold victim to a lower tier is priced by that tier's device, so
+        the node neither stalls nor loses its flag (see
+        :meth:`_create_tiered`).
         """
         self._apply_drains(catalog, drain_events, clock)
+        if self.options.spill is not None:
+            return self._create_tiered(graph, node_id, size, clock, catalog,
+                                       storage, drain_events, spilled, trace)
 
         can_spill = (not self.options.strict_budget
                      and self.options.on_overflow == "spill")
@@ -251,8 +303,30 @@ class RefreshSimulator:
         heapq.heappush(drain_events, (completion, node_id))
         return clock
 
+    def _create_tiered(self, graph: DependencyGraph, node_id: str,
+                       size: float, clock: float, catalog: MemoryLedger,
+                       storage: StorageDevice,
+                       drain_events: list[tuple[float, str]],
+                       spilled: set[str], trace: NodeTrace) -> float:
+        """Flagged output with the tiered store: demote victims, never
+        stall.  An output bigger than RAM is created directly in a lower
+        tier; only when *no* tier can host it (finite hierarchy) does the
+        node fall back to losing its flag with a blocking write."""
+        from repro.store.tiered import charge_tiered_output
+
+        clock, inserted = charge_tiered_output(
+            catalog, node_id, size, graph.out_degree(node_id), clock,
+            trace, storage, self.profile.create_time_memory,
+            self.options.strict_budget or
+            self.options.on_overflow == "error", spilled)
+        if inserted:
+            completion = storage.submit_background_write(node_id, size,
+                                                         clock)
+            heapq.heappush(drain_events, (completion, node_id))
+        return clock
+
     @staticmethod
-    def _apply_drains(catalog: MemoryCatalog,
+    def _apply_drains(catalog: MemoryLedger,
                       drain_events: list[tuple[float, str]],
                       now: float) -> None:
         """Flip materialization holds for writes that completed by ``now``."""

@@ -17,7 +17,11 @@ class NodeTrace:
     ``read_memory``/``read_disk`` split input time by source; ``write`` is
     the *blocking* output time (zero for flagged nodes, whose
     materialization drains in the background); ``stall`` is time spent
-    waiting for Memory Catalog space (backpressure).
+    waiting for Memory Catalog space (backpressure).  With a tiered
+    store enabled, ``spill_write`` is time spent demoting victims to a
+    lower tier on this node's behalf and ``promote_read`` is time spent
+    copying spilled parents back into RAM (the device read of a spilled
+    parent itself lands in ``read_disk``).
     """
 
     node_id: str
@@ -29,6 +33,8 @@ class NodeTrace:
     write: float = 0.0
     create_memory: float = 0.0
     stall: float = 0.0
+    spill_write: float = 0.0
+    promote_read: float = 0.0
     flagged: bool = False
     cache_hits: int = 0
     cache_misses: int = 0
@@ -44,7 +50,13 @@ class NodeTrace:
 
 @dataclass
 class RunTrace:
-    """A whole refresh run: per-node traces plus run-level facts."""
+    """A whole refresh run: per-node traces plus run-level facts.
+
+    ``extras`` is a generic mapping for backend-specific run counters —
+    the tiered store publishes per-tier usage and spill/promote stats
+    under ``extras["tiered_store"]`` — so future backends report their
+    own facts without overloading unrelated fields.
+    """
 
     nodes: list[NodeTrace] = field(default_factory=list)
     end_to_end_time: float = 0.0
@@ -53,6 +65,7 @@ class RunTrace:
     peak_catalog_usage: float = 0.0
     memory_budget: float = 0.0
     method: str = ""
+    extras: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -84,6 +97,11 @@ class RunTrace:
     @property
     def stall_time(self) -> float:
         return sum(n.stall for n in self.nodes)
+
+    @property
+    def spill_time(self) -> float:
+        """Total time spent moving bytes between storage tiers."""
+        return sum(n.spill_write + n.promote_read for n in self.nodes)
 
     def breakdown(self) -> dict[str, float]:
         """Fraction of summed node time per category (Figure 3 axes)."""

@@ -29,6 +29,12 @@ minidb       the real MiniDB columnar engine with genuine disk I/O and
 The parallel scheduler also ships :func:`~repro.exec.parallel.run_threaded`,
 a real thread-pool executor used to measure wall-clock scaling (see
 ``benchmarks/bench_parallel_scaling.py``).
+
+Backends short on RAM can swap the plain ledger for the
+:class:`~repro.store.tiered.TieredLedger` facade from :mod:`repro.store`
+— same admission/release protocol, but entries that do not fit demote to
+spill tiers (SSD/disk) instead of blocking; the simulators arm it via
+``SimulatorOptions(spill=...)`` and MiniDB via ``spill_dir=``.
 """
 
 from repro.exec.base import (

@@ -28,14 +28,18 @@ from __future__ import annotations
 import abc
 import importlib
 from dataclasses import dataclass, field
-from typing import Any, ClassVar
+from typing import TYPE_CHECKING, Any, ClassVar
 
 from repro.core.plan import Plan
-from repro.engine.trace import NodeTrace, RunTrace
 from repro.errors import ValidationError
 from repro.exec.ledger import MemoryLedger
 from repro.graph.dag import DependencyGraph
 from repro.graph.topo import kahn_topological_order
+
+if TYPE_CHECKING:  # annotation-only: keeps repro.exec importable without
+    # triggering repro.engine's package init (which imports back into
+    # this module through the Controller)
+    from repro.engine.trace import NodeTrace, RunTrace
 
 
 @dataclass
@@ -132,9 +136,22 @@ _BACKEND_MODULES: dict[str, str] = {
 
 
 def register_backend(cls: type[ExecutionBackend]) -> type[ExecutionBackend]:
-    """Class decorator adding a backend to the registry by its ``name``."""
+    """Class decorator adding a backend to the registry by its ``name``.
+
+    Re-registering the same class — including the fresh class object a
+    module reload creates — is a no-op; claiming an already-taken name
+    with a genuinely different class is an error, because silent
+    replacement would reroute every Controller dispatch on that name.
+    """
     if not cls.name:
         raise ValidationError(f"backend {cls.__name__} has no name")
+    existing = _BACKENDS.get(cls.name)
+    if existing is not None and existing is not cls and (
+            (existing.__module__, existing.__qualname__)
+            != (cls.__module__, cls.__qualname__)):
+        raise ValidationError(
+            f"execution backend {cls.name!r} is already registered to "
+            f"{existing.__name__}")
     _BACKENDS[cls.name] = cls
     return cls
 
@@ -145,9 +162,21 @@ def backend_names() -> tuple[str, ...]:
 
 
 def get_backend(name: str) -> type[ExecutionBackend]:
-    """Resolve a backend class by name, importing its module if needed."""
+    """Resolve a backend class by name, importing its module if needed.
+
+    Raises :class:`ValidationError` for an unknown name, for a backend
+    module that fails to import (missing optional dependency, typo in
+    :data:`_BACKEND_MODULES`), and for a module that imports cleanly but
+    never registers the promised name.
+    """
     if name not in _BACKENDS and name in _BACKEND_MODULES:
-        importlib.import_module(_BACKEND_MODULES[name])
+        module = _BACKEND_MODULES[name]
+        try:
+            importlib.import_module(module)
+        except ImportError as exc:
+            raise ValidationError(
+                f"execution backend {name!r} could not be loaded: "
+                f"importing {module!r} failed ({exc})") from exc
     if name not in _BACKENDS:
         raise ValidationError(
             f"unknown execution backend {name!r}; "

@@ -102,6 +102,11 @@ class MemoryLedger:
         with self._lock:
             return self._require(node_id).consumers_left
 
+    def size_of(self, node_id: str) -> float:
+        """Resident size of an entry."""
+        with self._lock:
+            return self._require(node_id).size
+
     def fits(self, size: float) -> bool:
         with self._lock:
             return size <= self.available + _EPS
@@ -241,6 +246,42 @@ class MemoryLedger:
             entry = self._require(node_id)
             self._usage -= entry.size
             del self._entries[node_id]
+
+    # ------------------------------------------------------------------
+    # tier migration (see repro.store.tiered)
+    # ------------------------------------------------------------------
+    def detach(self, node_id: str) -> tuple[float, int, bool]:
+        """Remove an entry while preserving its release-protocol state.
+
+        Returns ``(size, consumers_left, materialization_pending)`` so a
+        tiered store can move the entry into another ledger with
+        :meth:`adopt` — the two calls together are the spill/promote
+        migration primitive.
+        """
+        with self._lock:
+            entry = self._require(node_id)
+            self._usage -= entry.size
+            del self._entries[node_id]
+            return (entry.size, entry.consumers_left,
+                    entry.materialization_pending)
+
+    def adopt(self, node_id: str, size: float, consumers_left: int,
+              materialization_pending: bool) -> None:
+        """Admit an entry detached from another ledger, state intact.
+
+        Unlike :meth:`insert` the consumer count may be mid-countdown;
+        the admission/fit rules are identical.
+        """
+        with self._lock:
+            self._check_new(node_id, size)
+            if not self.fits(size):
+                raise BudgetExceededError(
+                    f"adopting {node_id!r} ({size:.6g}) exceeds ledger "
+                    f"budget ({self.available:.6g} available of "
+                    f"{self.budget:.6g})",
+                    requested=size, available=self.available)
+            self._commit_entry(node_id, size, consumers_left,
+                               materialization_pending)
 
     # ------------------------------------------------------------------
     def _check_new(self, node_id: str, size: float) -> None:

@@ -13,7 +13,16 @@ bytes), so all MiniDB catalog mutations stay single-threaded, as in the
 original runner.
 
 Construct with the workload: ``create_backend("minidb", workload=wl)``;
-``run`` then takes the workload's own dependency graph.
+``run`` then takes the workload's own dependency graph.  Passing
+``spill_dir=<path>`` (plus optional ``spill_policy``) additionally arms
+*real* spill-to-disk through a :class:`~repro.store.tiered.TieredLedger`:
+when memory is pinned by entries with outstanding consumers, policy-ranked
+victims are serialized into the spill directory with
+:func:`repro.db.storage_format.write_table` (uncompressed — a spill is a
+fast local dump, not a warehouse materialization) and their accounting
+moves to the spill tier; a spilled, not-yet-durable parent is read back
+with ``read_table`` and promoted before its consumer runs.  The
+wall-clock costs land in ``NodeTrace.spill_write`` / ``promote_read``.
 """
 
 from __future__ import annotations
@@ -53,6 +62,8 @@ class _MiniDbState:
     writes: dict[str, _FlaggedWrite] = field(default_factory=dict)
     run_started: float = 0.0
     evicted: set[str] = field(default_factory=set)
+    spill_dir: str | None = None
+    spill_files: set[str] = field(default_factory=set)
 
 
 @register_backend
@@ -74,11 +85,29 @@ class MiniDbBackend(ExecutionBackend):
         missing = [v for v in plan.order if v not in by_name]
         if missing:
             raise ExecutionError(f"plan mentions unknown MVs: {missing[:5]}")
+        spill_dir = self.extra.get("spill_dir")
+        if spill_dir:
+            import os
+
+            from repro.store.config import SpillConfig, TierSpec
+            from repro.store.tiered import TieredLedger
+
+            os.makedirs(spill_dir, exist_ok=True)
+            config = SpillConfig(
+                tiers=(TierSpec("spill-disk"),),
+                policy=self.extra.get("spill_policy", "cost"))
+            # charge_io=False: this backend measures real wall clocks
+            # around real (de)serialization instead of charging a model
+            ledger: MemoryLedger = TieredLedger(memory_budget, config,
+                                                charge_io=False)
+        else:
+            ledger = MemoryLedger(budget=memory_budget)
         state = _MiniDbState(by_name=by_name,
-                             run_started=time.perf_counter())
+                             run_started=time.perf_counter(),
+                             spill_dir=spill_dir)
         return ExecutionContext(graph=graph, plan=plan,
                                 memory_budget=memory_budget, method=method,
-                                ledger=MemoryLedger(budget=memory_budget),
+                                ledger=ledger,
                                 payload=state)
 
     # ------------------------------------------------------------------
@@ -88,6 +117,8 @@ class MiniDbBackend(ExecutionBackend):
         trace = NodeTrace(node_id=node_id,
                           start=time.perf_counter() - state.run_started,
                           flagged=ctx.plan.is_flagged(node_id))
+        if state.spill_dir:
+            self._stage_spilled_parents(ctx, node_id, trace)
         result, timing = db.query(state.by_name[node_id].sql)
         trace.read_disk = timing.read_seconds
         trace.read_memory = 0.0
@@ -99,8 +130,10 @@ class MiniDbBackend(ExecutionBackend):
             ctx.ledger.insert(node_id, size_gb,
                               n_consumers=ctx.graph.out_degree(node_id),
                               materialization_pending=True)
+            # the thread owns a direct table reference, so a later spill
+            # may evict the memory-catalog entry without racing the drain
             thread = threading.Thread(
-                target=db.materialize_from_memory, args=(node_id,),
+                target=db.catalog.persist, args=(node_id, result),
                 name=f"materialize-{node_id}", daemon=True)
             state.writes[node_id] = _FlaggedWrite(size_gb=size_gb,
                                                   thread=thread)
@@ -141,7 +174,14 @@ class MiniDbBackend(ExecutionBackend):
         if node_id in ctx.ledger:  # force-eviction path (cleanup)
             ctx.ledger.force_release(node_id)
         state.evicted.add(node_id)
-        self.extra["workload"].db.release_memory(node_id)
+        db = self.extra["workload"].db
+        if db.catalog.in_memory(node_id):
+            db.release_memory(node_id)
+        if node_id in state.spill_files:
+            from repro.db import storage_format
+
+            storage_format.delete_table(state.spill_dir, node_id)
+            state.spill_files.discard(node_id)
 
     def finish(self, ctx: ExecutionContext) -> RunTrace:
         state: _MiniDbState = ctx.payload
@@ -149,6 +189,16 @@ class MiniDbBackend(ExecutionBackend):
         for node_id, write in state.writes.items():
             write.thread.join()
             self.materialize(ctx, node_id)
+        extras = {}
+        report = getattr(ctx.ledger, "tier_report", None)
+        if callable(report):
+            extras["tiered_store"] = report()
+        if state.spill_files:  # leftover scratch copies (now durable)
+            from repro.db import storage_format
+
+            for node_id in list(state.spill_files):
+                storage_format.delete_table(state.spill_dir, node_id)
+                state.spill_files.discard(node_id)
         end_to_end = time.perf_counter() - state.run_started
         return RunTrace(
             nodes=ctx.traces,
@@ -158,6 +208,7 @@ class MiniDbBackend(ExecutionBackend):
             peak_catalog_usage=ctx.ledger.peak_usage,
             memory_budget=ctx.memory_budget,
             method=ctx.method,
+            extras=extras,
         )
 
     # ------------------------------------------------------------------
@@ -169,28 +220,113 @@ class MiniDbBackend(ExecutionBackend):
                 self.materialize(ctx, node_id)
 
     def _reclaim(self, ctx: ExecutionContext, target_gb: float,
-                 trace: NodeTrace) -> bool:
+                 trace: NodeTrace,
+                 protect: frozenset = frozenset()) -> bool:
         """Stall until ``target_gb`` fits, joining drained writers.
 
         Returns False (the caller spills to a blocking write) when the
         memory is held by entries that still have outstanding consumers —
-        waiting could not free it.
+        waiting could not free it.  With a spill directory configured the
+        fallback is a *real* spill of a policy-ranked victim instead;
+        ``protect`` names entries that must stay in RAM (the parents of
+        the node currently being staged).
         """
         state: _MiniDbState = ctx.payload
         stall_started = time.perf_counter()
+        spilling_before = trace.spill_write
+
+        def in_ram(name: str) -> bool:  # spilled entries free no RAM
+            return not state.spill_dir or ctx.ledger.tier_of(name) == 0
+
         while not ctx.ledger.fits(target_gb):
             self._reap_drained(ctx)
             if ctx.ledger.fits(target_gb):
                 break
             waiting = [w for n, w in state.writes.items()
                        if not w.drained_applied and n in ctx.ledger
+                       and in_ram(n)
                        and ctx.ledger.consumers_left(n) <= 0]
             if not waiting:
+                if state.spill_dir and self._spill_one(ctx, trace,
+                                                       protect):
+                    continue
                 return False  # outstanding consumers hold the memory
             for write in waiting:
                 write.thread.join(timeout=0.05)
-        trace.stall += time.perf_counter() - stall_started
+        # spill seconds were booked into spill_write; stall is the rest
+        trace.stall += max(0.0, time.perf_counter() - stall_started
+                           - (trace.spill_write - spilling_before))
         return True
     # NOTE: eviction needs both the drain *and* the consumers; _reclaim
-    # only waits on drains, so entries pinned by future consumers
-    # correctly force the spill fallback, as in the original runner.
+    # only waits on drains, so entries pinned by future consumers force
+    # the fallback — a *real* spill into the spill directory when one is
+    # configured, the original blocking-write path otherwise.
+
+    # ------------------------------------------------------------------
+    # real spill-to-disk (spill_dir configured)
+    # ------------------------------------------------------------------
+    def _spill_one(self, ctx: ExecutionContext, trace: NodeTrace,
+                   protect: frozenset = frozenset()) -> bool:
+        """Evict one policy-ranked victim from RAM to the spill tier.
+
+        A victim whose background write already drained is free to drop
+        (its durable copy serves later readers); otherwise the table is
+        dumped uncompressed into the spill directory first.  Returns
+        False when RAM holds no spillable entry outside ``protect``.
+        """
+        from repro.db import storage_format
+
+        state: _MiniDbState = ctx.payload
+        db = self.extra["workload"].db
+        victim = ctx.ledger.pick_victim(exclude=protect)
+        if victim is None:
+            return False
+        started = time.perf_counter()
+        if not db.catalog.persisted(victim) \
+                and victim not in state.spill_files:
+            # tables are immutable: an earlier spill copy stays valid
+            table = db.catalog.get_memory(victim)
+            storage_format.write_table(table, state.spill_dir, victim,
+                                       compress=False)
+            state.spill_files.add(victim)
+        db.release_memory(victim)
+        ctx.ledger.demote(victim)
+        trace.spill_write += time.perf_counter() - started
+        return True
+
+    def _stage_spilled_parents(self, ctx: ExecutionContext, node_id: str,
+                               trace: NodeTrace) -> None:
+        """Make every spilled parent of ``node_id`` readable again.
+
+        Durable parents need nothing — the query resolver reads the
+        warehouse copy.  A parent that exists only in the spill
+        directory is read back and promoted into RAM (spilling other
+        victims to make room); when even that is impossible, the
+        parent's background write is joined so a durable copy exists.
+        """
+        from repro.db import storage_format
+
+        state: _MiniDbState = ctx.payload
+        db = self.extra["workload"].db
+        protect = frozenset(ctx.graph.parents(node_id))
+        for parent in sorted(protect):
+            tier = ctx.ledger.tier_of(parent)
+            if tier is None or tier == 0:
+                continue
+            if db.catalog.persisted(parent):
+                continue  # resolver reads the durable copy from disk
+            # _reclaim books its own stall/spill time; promote_read
+            # covers only the read-back and re-admission below
+            if self._reclaim(ctx, ctx.ledger.size_of(parent), trace,
+                             protect=protect):
+                started = time.perf_counter()
+                table = storage_format.read_table(state.spill_dir, parent)
+                db.catalog.put_memory(parent, table)
+                ctx.ledger.promote(parent)
+                trace.promote_read += time.perf_counter() - started
+            else:
+                write = state.writes.get(parent)
+                if write is not None:  # wait for the durable copy
+                    started = time.perf_counter()
+                    write.thread.join()
+                    trace.stall += time.perf_counter() - started

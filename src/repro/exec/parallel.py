@@ -89,6 +89,12 @@ class _SchedulerState:
     traces: list[NodeTrace] = field(default_factory=list)
     trace_by_id: dict[str, NodeTrace] = field(default_factory=dict)
     last_completion: float = 0.0
+    # tiered-store bookkeeping: demotion charges made while admitting a
+    # node (successful or not), billed to that node's timeline when it
+    # executes; tier_direct marks flagged outputs bigger than RAM that
+    # will be placed below RAM at their completion event
+    pending_spill: dict[str, list] = field(default_factory=dict)
+    tier_direct: set[str] = field(default_factory=set)
 
 
 @register_backend
@@ -129,9 +135,18 @@ class ParallelSimulatorBackend(ExecutionBackend):
         )
         heapq.heapify(state.idle_workers)
         state.ready = {v for v, d in state.deps_left.items() if d == 0}
+        options = self.options or SimulatorOptions()
+        if options.spill is not None:
+            from repro.store.tiered import TieredLedger
+
+            ledger: MemoryLedger = TieredLedger(
+                memory_budget, options.spill,
+                profile=self.profile or DeviceProfile())
+        else:
+            ledger = MemoryLedger(budget=memory_budget)
         return ExecutionContext(graph=graph, plan=plan,
                                 memory_budget=memory_budget, method=method,
-                                ledger=MemoryLedger(budget=memory_budget),
+                                ledger=ledger,
                                 payload=state)
 
     # ------------------------------------------------------------------
@@ -177,12 +192,12 @@ class ParallelSimulatorBackend(ExecutionBackend):
             size = graph.size_of(parent)
             input_bytes += size
             if parent in ctx.ledger and parent not in state.spilled:
-                duration = profile.read_time_memory(size)
-                trace.read_memory += duration
+                clock = self._read_resident(ctx, parent, size, clock,
+                                            trace, profile, options)
             else:
                 duration = state.storage.read_duration(size, clock)
                 trace.read_disk += duration
-            clock += duration
+                clock += duration
         base_bytes = float(node.meta.get("base_input_gb", 0.0))
         if base_bytes > 0:
             duration = state.storage.read_duration(base_bytes, clock)
@@ -196,9 +211,15 @@ class ParallelSimulatorBackend(ExecutionBackend):
         trace.compute = compute
         clock += compute
 
-        if flagged and self.workers == 1:
-            # serial-equivalent mode: the output (admission, possible
-            # stall/spill, memory create) happens at the completion event
+        # bill demotions made while admitting this node (including ones
+        # from attempts that ultimately failed — the moves happened)
+        for charge in state.pending_spill.pop(node_id, []):
+            trace.spill_write += charge.seconds
+            clock += charge.seconds
+
+        if flagged and (self.workers == 1 or node_id in state.tier_direct):
+            # the output (admission, possible stall/spill, memory create)
+            # happens at the completion event
             pass
         elif flagged:
             duration = profile.create_time_memory(node.size)
@@ -218,10 +239,29 @@ class ParallelSimulatorBackend(ExecutionBackend):
                        (clock, _COMPLETE, next(state.seq), node_id, worker))
 
     # ------------------------------------------------------------------
+    def _read_resident(self, ctx: ExecutionContext, parent: str,
+                       size: float, clock: float, trace: NodeTrace,
+                       profile: DeviceProfile,
+                       options: SimulatorOptions) -> float:
+        """Charge reading a resident parent from whichever tier holds it
+        (the same shared rule as the serial simulator)."""
+        if options.spill is not None:
+            from repro.store.tiered import charge_resident_read
+
+            handled, clock = charge_resident_read(
+                ctx.ledger, options.spill, parent, clock, trace)
+            if handled:
+                return clock
+        duration = profile.read_time_memory(size)
+        trace.read_memory += duration
+        return clock + duration
+
+    # ------------------------------------------------------------------
     def _dispatch_round(self, ctx: ExecutionContext) -> None:
         """Start every node that is ready, admissible, and has a worker."""
         state: _SchedulerState = ctx.payload
         options = self.options or SimulatorOptions()
+        tiered = options.spill is not None
         while state.idle_workers and state.ready:
             candidates = sorted(state.ready, key=state.priority.__getitem__)
             if self.workers == 1:
@@ -232,10 +272,23 @@ class ParallelSimulatorBackend(ExecutionBackend):
             chosen = None
             for node_id in candidates:
                 if (node_id in ctx.plan.flagged
-                        and node_id not in state.spilled):
-                    if ctx.ledger.reserve(node_id, ctx.graph.size_of(node_id)):
+                        and node_id not in state.spilled
+                        and node_id not in state.tier_direct):
+                    size = ctx.graph.size_of(node_id)
+                    if ctx.ledger.reserve(node_id, size):
                         chosen = node_id
                         break
+                    if tiered:
+                        # demote victims to a lower tier instead of
+                        # blocking the reservation
+                        ok, charges = ctx.ledger.try_make_room(
+                            size, now=state.now)
+                        if charges:
+                            state.pending_spill.setdefault(
+                                node_id, []).extend(charges)
+                        if ok and ctx.ledger.reserve(node_id, size):
+                            chosen = node_id
+                            break
                     state.blocked_since.setdefault(node_id, state.now)
                 else:
                     chosen = node_id
@@ -252,7 +305,12 @@ class ParallelSimulatorBackend(ExecutionBackend):
                         f"Memory Catalog cannot host {node_id!r} "
                         f"({ctx.graph.size_of(node_id):.6g} GB; "
                         f"{ctx.ledger.available:.6g} free)")
-                state.spilled.add(candidates[0])
+                if tiered:
+                    # bigger than RAM itself: keep the flag and place the
+                    # output below RAM at its completion event
+                    state.tier_direct.add(candidates[0])
+                else:
+                    state.spilled.add(candidates[0])
                 continue
             self.execute_node(ctx, chosen)
 
@@ -270,6 +328,12 @@ class ParallelSimulatorBackend(ExecutionBackend):
         if node_id in ctx.plan.flagged and node_id not in state.spilled:
             if self.workers == 1:
                 end_clock = self._serial_output(ctx, node_id)
+            elif node_id in state.tier_direct:
+                end_clock = self._serial_output_tiered(
+                    ctx, node_id, graph.size_of(node_id), event_time,
+                    state.trace_by_id[node_id],
+                    self.options or SimulatorOptions(),
+                    self.profile or DeviceProfile())
             else:
                 ctx.ledger.commit_reservation(
                     node_id, n_consumers=graph.out_degree(node_id),
@@ -308,6 +372,9 @@ class ParallelSimulatorBackend(ExecutionBackend):
         size = ctx.graph.size_of(node_id)
         ledger = ctx.ledger
         clock = state.now
+        if options.spill is not None:
+            return self._serial_output_tiered(ctx, node_id, size, clock,
+                                              trace, options, profile)
 
         can_spill = (not options.strict_budget
                      and options.on_overflow == "spill")
@@ -350,6 +417,33 @@ class ParallelSimulatorBackend(ExecutionBackend):
         trace.end = clock
         return clock
 
+    def _serial_output_tiered(self, ctx: ExecutionContext, node_id: str,
+                              size: float, clock: float, trace: NodeTrace,
+                              options: SimulatorOptions,
+                              profile: DeviceProfile) -> float:
+        """Serial-mode flagged output with the tiered store: demote
+        victims (or place the output itself in a lower tier) instead of
+        stalling — mirrors the serial simulator's ``_create_tiered``."""
+        from repro.store.tiered import charge_tiered_output
+
+        state: _SchedulerState = ctx.payload
+        self._pop_drains_until(ctx, clock)
+        clock, inserted = charge_tiered_output(
+            ctx.ledger, node_id, size, ctx.graph.out_degree(node_id),
+            clock, trace, state.storage, profile.create_time_memory,
+            options.strict_budget or options.on_overflow == "error",
+            state.spilled)
+        if inserted:
+            drained_at = state.storage.submit_background_write(
+                node_id, size, clock)
+            heapq.heappush(state.events,
+                           (drained_at, _DRAIN, next(state.seq),
+                            node_id, None))
+            state.drains_pending += 1
+        self._pop_drains_until(ctx, clock)
+        trace.end = clock
+        return clock
+
     def _pop_drains_until(self, ctx: ExecutionContext, now: float) -> None:
         """Apply queued drain events with ``time <= now``."""
         state: _SchedulerState = ctx.payload
@@ -367,6 +461,10 @@ class ParallelSimulatorBackend(ExecutionBackend):
             if kind == _DRAIN:
                 self.materialize(ctx, node_id)
         drained = state.storage.drained_at()
+        extras = {}
+        report = getattr(ctx.ledger, "tier_report", None)
+        if callable(report):
+            extras["tiered_store"] = report()
         return RunTrace(
             nodes=state.traces,
             end_to_end_time=max(state.last_completion, drained),
@@ -375,6 +473,7 @@ class ParallelSimulatorBackend(ExecutionBackend):
             peak_catalog_usage=ctx.ledger.peak_usage,
             memory_budget=ctx.memory_budget,
             method=ctx.method,
+            extras=extras,
         )
 
 

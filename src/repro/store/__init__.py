@@ -1,0 +1,98 @@
+"""``repro.store`` — the tiered storage subsystem (spill-to-disk).
+
+The S/C paper treats the Memory Catalog budget as a hard wall: a refresh
+whose live intermediates exceed RAM either stalls or gives up flags and
+pays blocking warehouse writes.  This package extends bounded memory
+with a storage *hierarchy* — RAM on top, then one or more spill tiers
+(SSD, local disk, ...) — so those workloads complete with a measurable
+slowdown instead of failing, while the RAM-tier budget invariant keeps
+holding exactly as before.
+
+Architecture — three contracts, one facade
+==========================================
+
+**Tier contract** (:class:`~repro.store.config.TierSpec` +
+:class:`~repro.store.tiered.StorageTier`)
+    A tier is a capacity plus a device cost model.  Each tier owns its
+    own :class:`~repro.exec.ledger.MemoryLedger`, so per-tier usage,
+    peak, and admission share the exact accounting code RAM uses, and a
+    :class:`~repro.engine.storage.StorageDevice` that prices reads and
+    writes for simulated runs (real-I/O executors measure wall clocks
+    instead and run with ``charge_io=False``).
+
+**Ledger contract** (:class:`~repro.store.tiered.TieredLedger`)
+    The facade subclasses ``MemoryLedger``; its inherited state *is* the
+    RAM tier.  Every method backends already call — ``insert`` /
+    ``try_insert``, reservations, ``fits``, ``usage`` / ``peak_usage``,
+    ``consumer_done`` / ``materialized`` / ``force_release``, ``in`` —
+    keeps its meaning, with release-protocol calls routed to whichever
+    tier holds the entry.  Entries migrate with the ledger's
+    ``detach``/``adopt`` primitive, carrying their consumer counts and
+    materialization holds with them, so the paper's release protocol is
+    tier-agnostic.
+
+**Policy contract** (:class:`~repro.store.policy.SpillPolicy`)
+    Victim selection is pluggable: ``cost`` (S/C-style scoring —
+    smallest expected reload penalty per byte freed), ``lru``, and
+    ``largest`` ship built in; third parties register more with
+    :func:`~repro.store.policy.register_policy`.  Rankings always end
+    with the node id, keeping runs deterministic.
+
+How backends opt in
+===================
+
+* The **serial simulator** and the **parallel scheduler** accept a
+  :class:`~repro.store.config.SpillConfig` on
+  ``SimulatorOptions(spill=...)``.  Instead of stalling (or dropping the
+  flag) when a flagged output does not fit, they demote victims to the
+  next tier — charging the tiers' device read/write times into the
+  node's timeline (``NodeTrace.spill_write`` / ``promote_read``) — and
+  read spilled parents at the holding tier's device speed, promoting
+  them back to RAM when ``promote`` is on and space allows.
+* The **MiniDB backend** takes ``spill_dir=...`` (and ``spill_policy``)
+  and performs *real* spills: victims are written with
+  :func:`repro.db.storage_format.write_table` into the spill directory,
+  read back with ``read_table`` on promotion, so wall-clock traces
+  include genuine serialization + compression cost.  It uses the same
+  ``TieredLedger`` with ``charge_io=False`` (bytes accounting and
+  policy, no simulated seconds).
+* Backends that do nothing keep a plain ``MemoryLedger`` — with spill
+  disabled every trace is bit-identical to the pre-tiered behavior.
+
+Run-level observability lives in ``RunTrace.extras["tiered_store"]``
+(per-tier usage/peak plus spill/promote counts and bytes), surfaced by
+the Controller, the CLI (``--tier``, ``--spill-policy``,
+``--spill-dir``), and ``benchmarks/bench_spill_tiers.py``.
+"""
+
+from repro.store.config import (
+    LOCAL_DISK_PROFILE,
+    SSD_PROFILE,
+    SpillConfig,
+    TierSpec,
+    parse_tier,
+)
+from repro.store.policy import (
+    SpillPolicy,
+    VictimInfo,
+    create_policy,
+    policy_names,
+    register_policy,
+)
+from repro.store.tiered import SpillCharge, StorageTier, TieredLedger
+
+__all__ = [
+    "LOCAL_DISK_PROFILE",
+    "SSD_PROFILE",
+    "SpillCharge",
+    "SpillConfig",
+    "SpillPolicy",
+    "StorageTier",
+    "TierSpec",
+    "TieredLedger",
+    "VictimInfo",
+    "create_policy",
+    "parse_tier",
+    "policy_names",
+    "register_policy",
+]

@@ -1,0 +1,127 @@
+"""Tier specifications and the spill configuration shared by backends.
+
+This module is a dependency leaf (errors + cost model only) so executors
+can accept a :class:`SpillConfig` in their options without importing the
+tier machinery itself — :mod:`repro.store.tiered` is loaded only when a
+run actually spills.
+
+Spilled tables are stored *decoded* (no ORC/Parquet codec work): a spill
+is a raw dump to a local device, which is exactly why it is cheaper than
+re-materializing through the warehouse write path.  The default tier
+profiles therefore disable the codec stages (``inf`` rates) and model
+only device transfer + latency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.metadata.costmodel import DeviceProfile
+
+#: Local NVMe/SATA SSD: fast transfers, negligible seek, no codec.
+SSD_PROFILE = DeviceProfile(
+    disk_read_bandwidth=2.2,
+    disk_write_bandwidth=1.4,
+    read_latency=60e-6,
+    decode_rate=math.inf,
+    encode_rate=math.inf,
+)
+
+#: Local spinning disk: modest bandwidth, milliseconds of seek, no codec.
+LOCAL_DISK_PROFILE = DeviceProfile(
+    disk_read_bandwidth=0.45,
+    disk_write_bandwidth=0.35,
+    read_latency=4e-3,
+    decode_rate=math.inf,
+    encode_rate=math.inf,
+)
+
+#: Default device model per well-known tier name (``--tier ssd:8``).
+TIER_PROFILES: dict[str, DeviceProfile] = {
+    "ssd": SSD_PROFILE,
+    "nvme": SSD_PROFILE,
+    "disk": LOCAL_DISK_PROFILE,
+    "hdd": LOCAL_DISK_PROFILE,
+}
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """One rung of the storage hierarchy below RAM.
+
+    Attributes:
+        name: tier label (``"ssd"``, ``"disk"``, ...); well-known names
+            pick their default :data:`TIER_PROFILES` device model.
+        budget: capacity in GB; ``math.inf`` makes the tier unbounded
+            (the usual choice for the last tier, so a refresh can always
+            complete).
+        profile: explicit device cost model; ``None`` resolves through
+            the name (falling back to :data:`LOCAL_DISK_PROFILE`).
+    """
+
+    name: str
+    budget: float = math.inf
+    profile: DeviceProfile | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or ":" in self.name:
+            raise ValidationError(f"bad tier name {self.name!r}")
+        if not self.budget >= 0:  # also rejects NaN
+            raise ValidationError(
+                f"tier {self.name!r} budget must be >= 0")
+
+    def resolved_profile(self) -> DeviceProfile:
+        """The device model simulated runs charge for this tier."""
+        if self.profile is not None:
+            return self.profile
+        return TIER_PROFILES.get(self.name, LOCAL_DISK_PROFILE)
+
+
+def parse_tier(text: str) -> TierSpec:
+    """Parse a CLI tier argument: ``"ssd:8"``, ``"disk:inf"``, ``"disk"``.
+
+    The budget (GB) defaults to unbounded when omitted.
+    """
+    name, sep, raw = text.partition(":")
+    if not sep:
+        return TierSpec(name=name)
+    try:
+        budget = math.inf if raw in ("inf", "unbounded") else float(raw)
+    except ValueError:
+        raise ValidationError(
+            f"bad tier budget {raw!r} in {text!r} "
+            f"(want a number in GB, 'inf', or 'unbounded')") from None
+    return TierSpec(name=name, budget=budget)
+
+
+@dataclass(frozen=True)
+class SpillConfig:
+    """How a backend may spill flagged intermediates below RAM.
+
+    Attributes:
+        tiers: ordered lower tiers, hottest first (RAM itself is the
+            executing backend's ledger budget, not listed here).
+        policy: victim-selection policy name (see
+            :mod:`repro.store.policy`): ``"cost"``, ``"lru"``,
+            ``"largest"``.
+        promote: copy a spilled entry back into RAM after a read when it
+            fits, so later consumers get memory-bandwidth reads.
+    """
+
+    tiers: tuple[TierSpec, ...] = (TierSpec("disk"),)
+    policy: str = "cost"
+    promote: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tiers", tuple(self.tiers))
+        if not self.tiers:
+            raise ValidationError("a SpillConfig needs at least one tier")
+        names = [spec.name for spec in self.tiers]
+        if len(names) != len(set(names)):
+            raise ValidationError(f"duplicate tier names: {names}")
+        if "ram" in names:
+            raise ValidationError(
+                "'ram' is the executing ledger's budget, not a spill "
+                "tier; set the memory budget instead")

@@ -1,0 +1,127 @@
+"""Victim-selection policies for spilling between storage tiers.
+
+A policy ranks the resident entries of a tier; the tiered store demotes
+victims from the front of the ranking until the incoming entry fits.
+Every ranking ends with the node id as the final tie-break so that runs
+are bit-for-bit reproducible.
+
+Built-in policies:
+
+``cost``
+    S/C-style scoring: evict the entry with the smallest expected reload
+    penalty per byte freed, ``consumers_left * reload_cost / size``.  An
+    entry nobody will read again is free to evict; a small entry with
+    many readers is the worst possible victim.
+``lru``
+    Least-recently-used: evict the entry whose last access (insert or
+    read) is oldest, by logical recency.
+``largest``
+    Largest-first: evict the biggest entry, minimizing the number of
+    migrations needed to free the requested space.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class VictimInfo:
+    """What a policy may look at when ranking one resident entry.
+
+    Attributes:
+        node_id: the entry's id.
+        size: resident bytes (GB).
+        consumers_left: outstanding readers (expected future accesses).
+        last_access: logical recency stamp (larger = more recent).
+        reload_cost: seconds one consumer would pay to read the entry
+            back from the tier it would be demoted to.
+    """
+
+    node_id: str
+    size: float
+    consumers_left: int
+    last_access: int
+    reload_cost: float
+
+
+class SpillPolicy(abc.ABC):
+    """Orders spill candidates; first in the ranking is evicted first."""
+
+    name: ClassVar[str] = ""
+
+    @abc.abstractmethod
+    def key(self, victim: VictimInfo) -> tuple:
+        """Sort key of one candidate (ascending; smallest evicts first)."""
+
+    def order(self, victims: list[VictimInfo]) -> list[VictimInfo]:
+        """Deterministic ranking: policy key, then node id."""
+        return sorted(victims, key=lambda v: (*self.key(v), v.node_id))
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_POLICIES: dict[str, type[SpillPolicy]] = {}
+
+
+def register_policy(cls: type[SpillPolicy]) -> type[SpillPolicy]:
+    """Class decorator adding a policy under its ``name``."""
+    if not cls.name:
+        raise ValidationError(f"policy {cls.__name__} has no name")
+    existing = _POLICIES.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise ValidationError(
+            f"spill policy {cls.name!r} is already registered to "
+            f"{existing.__name__}")
+    _POLICIES[cls.name] = cls
+    return cls
+
+
+def policy_names() -> tuple[str, ...]:
+    return tuple(sorted(_POLICIES))
+
+
+def create_policy(name: str) -> SpillPolicy:
+    """Instantiate a policy by registry name."""
+    if name not in _POLICIES:
+        raise ValidationError(
+            f"unknown spill policy {name!r}; choose from {policy_names()}")
+    return _POLICIES[name]()
+
+
+# ----------------------------------------------------------------------
+@register_policy
+class CostAwarePolicy(SpillPolicy):
+    """Cheapest expected reload penalty per byte freed goes first."""
+
+    name = "cost"
+
+    def key(self, victim: VictimInfo) -> tuple:
+        if victim.size <= 0:
+            return (0.0,)
+        return (victim.consumers_left * victim.reload_cost / victim.size,)
+
+
+@register_policy
+class LruPolicy(SpillPolicy):
+    """Oldest logical access goes first."""
+
+    name = "lru"
+
+    def key(self, victim: VictimInfo) -> tuple:
+        return (victim.last_access,)
+
+
+@register_policy
+class LargestFirstPolicy(SpillPolicy):
+    """Biggest entry goes first (fewest migrations to free the space)."""
+
+    name = "largest"
+
+    def key(self, victim: VictimInfo) -> tuple:
+        return (-victim.size,)

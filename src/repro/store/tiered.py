@@ -1,0 +1,490 @@
+"""The tiered store: a MemoryLedger facade over RAM + spill tiers.
+
+:class:`TieredLedger` subclasses :class:`~repro.exec.ledger.MemoryLedger`
+so its *inherited* state is tier 0 (RAM): ``usage`` / ``peak_usage`` /
+``fits`` / reservations keep their RAM-only meaning and every existing
+budget invariant ("flagged residency never exceeds the budget") holds
+unchanged.  Below it sit :class:`StorageTier` rungs, each with its own
+ledger and simulated device.  Entries move between tiers with the
+ledger's ``detach``/``adopt`` migration primitive, so an entry keeps its
+consumer count and materialization hold wherever it lives, and the
+release protocol (``consumer_done`` / ``materialized`` /
+``force_release`` / ``in``) routes transparently to the holding tier.
+
+Demotions cascade: spilling into a full middle tier first spills that
+tier's own victims further down, so a hierarchy like RAM → small SSD →
+unbounded disk behaves like a proper inclusive cache hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.storage import StorageDevice
+from repro.errors import BudgetExceededError, CatalogError, ExecutionError
+from repro.exec.ledger import MemoryLedger
+from repro.metadata.costmodel import DeviceProfile
+from repro.store.config import SpillConfig, TierSpec
+from repro.store.policy import VictimInfo, create_policy
+
+
+@dataclass(frozen=True)
+class SpillCharge:
+    """Simulated time cost of one entry migration between tiers."""
+
+    node_id: str
+    src: str
+    dst: str
+    size: float
+    seconds: float
+
+
+def charge_resident_read(ledger: "TieredLedger", spill: SpillConfig,
+                         parent: str, clock: float, trace) -> \
+        tuple[bool, float]:
+    """Charge reading a resident parent held in a spill tier.
+
+    The one read-charging rule shared by the serial simulator and the
+    parallel scheduler (so their ``workers=1`` bit-equality cannot
+    drift): a spilled parent pays its tier's device read into
+    ``trace.read_disk`` and, when promotion is on and RAM has room, one
+    in-memory create into ``trace.promote_read``.  Returns
+    ``(handled, clock)``; ``handled=False`` means the parent is
+    RAM-resident and the caller charges its memory-bandwidth read (the
+    recency bump has already been recorded).
+    """
+    tier = ledger.tier_of(parent)
+    if tier is None or tier == 0:
+        ledger.note_read(parent)
+        return False, clock
+    duration = ledger.tier_read_seconds(parent, now=clock)
+    trace.read_disk += duration
+    clock += duration
+    if spill.promote:
+        charge = ledger.promote(parent, now=clock)
+        if charge is not None:
+            trace.promote_read += charge.seconds
+            clock += charge.seconds
+    ledger.note_read(parent)
+    return True, clock
+
+
+def charge_tiered_output(ledger: "TieredLedger", node_id: str, size: float,
+                         n_consumers: int, clock: float, trace,
+                         storage: StorageDevice, create_time,
+                         raise_on_overflow: bool,
+                         spilled: set) -> tuple[float, bool]:
+    """Create a flagged output somewhere in the hierarchy, billing the
+    migration charges to ``trace``.
+
+    The one output-charging rule shared by the serial simulator and the
+    parallel scheduler (the output-side twin of
+    :func:`charge_resident_read`).  Returns ``(clock, inserted)``;
+    ``inserted=False`` means no tier could host the entry (finite
+    hierarchy) and the node lost its flag to a blocking write on
+    ``storage`` — demotions made before that failure are still billed.
+    Raises :class:`~repro.errors.ExecutionError` instead when
+    ``raise_on_overflow`` is set.
+    """
+    try:
+        tier_idx, charges = ledger.spill_insert(
+            node_id, size, n_consumers=n_consumers,
+            materialization_pending=True, now=clock)
+    except BudgetExceededError as exc:
+        for charge in getattr(exc, "charges", []):
+            trace.spill_write += charge.seconds
+            clock += charge.seconds
+        if raise_on_overflow:
+            raise ExecutionError(
+                f"no storage tier can host {node_id!r} "
+                f"({size:.6g} GB)") from None
+        spilled.add(node_id)
+        duration = storage.write_duration(size, clock)
+        trace.write = duration
+        return clock + duration, False
+    for charge in charges:
+        trace.spill_write += charge.seconds
+        clock += charge.seconds
+    if tier_idx == 0:
+        duration = create_time(size)
+        trace.create_memory = duration
+        clock += duration
+    return clock, True
+
+
+@dataclass
+class StorageTier:
+    """One rung of the hierarchy: spec, its ledger, its device clock.
+
+    ``device`` is ``None`` for the RAM rung and for real-I/O runs (the
+    MiniDB backend measures wall clocks instead of charging a model).
+    """
+
+    spec: TierSpec
+    ledger: MemoryLedger
+    device: StorageDevice | None = None
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def read_seconds(self, size: float, now: float) -> float:
+        if self.device is None:
+            return 0.0
+        return self.device.read_duration(size, now)
+
+    def write_seconds(self, size: float, now: float) -> float:
+        if self.device is None:
+            return 0.0
+        return self.device.write_duration(size, now)
+
+
+class TieredLedger(MemoryLedger):
+    """Budget accountant for a RAM + spill-tier hierarchy.
+
+    Drop-in for a plain :class:`MemoryLedger`: backends that never call
+    the tier methods see identical behavior (inserts that don't fit
+    still raise).  Backends that opt into spilling use:
+
+    * :meth:`spill_insert` — admit a new entry, demoting victims (or
+      placing the entry itself in a lower tier when it is bigger than
+      RAM);
+    * :meth:`try_make_room` — free RAM ahead of a reservation;
+    * :meth:`promote` — bring a spilled entry back up after a read;
+    * :meth:`tier_read_seconds` / :meth:`note_read` — charge and record
+      reads of resident entries wherever they live;
+    * :meth:`pick_victim` / :meth:`demote` — the two-step protocol for
+      executors doing *real* I/O, which move bytes themselves and then
+      record the accounting move (``charge_io=False`` keeps every
+      simulated charge at zero).
+
+    All mutations run under the inherited re-entrant lock, so the same
+    thread-safety guarantees concurrent schedulers rely on carry over.
+    """
+
+    def __init__(self, budget: float, config: SpillConfig | None = None,
+                 profile: DeviceProfile | None = None,
+                 charge_io: bool = True) -> None:
+        super().__init__(budget=budget)
+        self.config = config or SpillConfig()
+        self.policy = create_policy(self.config.policy)
+        self.profile = profile or DeviceProfile()
+        self.charge_io = charge_io
+        self.tiers: list[StorageTier] = [
+            StorageTier(TierSpec("ram", budget), ledger=self)]
+        for spec in self.config.tiers:
+            device = (StorageDevice(profile=spec.resolved_profile())
+                      if charge_io else None)
+            self.tiers.append(
+                StorageTier(spec, MemoryLedger(budget=spec.budget), device))
+        self._lower_location: dict[str, int] = {}
+        self._recency: dict[str, int] = {}
+        self._tick = 0
+        self.spill_count = 0
+        self.promote_count = 0
+        self.spill_bytes = 0.0
+        self.promote_bytes = 0.0
+
+    # ------------------------------------------------------------------
+    # routing: an entry lives in exactly one tier
+    # ------------------------------------------------------------------
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._entries or node_id in self._lower_location
+
+    def tier_of(self, node_id: str) -> int | None:
+        """Index of the tier holding ``node_id`` (0 = RAM), or None."""
+        with self._lock:
+            if node_id in self._entries:
+                return 0
+            return self._lower_location.get(node_id)
+
+    def tier_name(self, index: int) -> str:
+        return self.tiers[index].name
+
+    def resident(self) -> list[str]:
+        with self._lock:
+            return list(self._entries) + list(self._lower_location)
+
+    def size_of(self, node_id: str) -> float:
+        with self._lock:
+            idx, tier = self._holding(node_id)
+            if idx == 0:
+                return super().size_of(node_id)
+            return tier.ledger.size_of(node_id)
+
+    def consumers_left(self, node_id: str) -> int:
+        with self._lock:
+            idx, tier = self._holding(node_id)
+            if idx == 0:
+                return super().consumers_left(node_id)
+            return tier.ledger.consumers_left(node_id)
+
+    def consumer_done(self, node_id: str) -> bool:
+        with self._lock:
+            idx, tier = self._holding(node_id)
+            if idx == 0:
+                released = super().consumer_done(node_id)
+            else:
+                released = tier.ledger.consumer_done(node_id)
+            if released:
+                self._forget(node_id)
+            return released
+
+    def materialized(self, node_id: str) -> bool:
+        with self._lock:
+            idx, tier = self._holding(node_id)
+            if idx == 0:
+                released = super().materialized(node_id)
+            else:
+                released = tier.ledger.materialized(node_id)
+            if released:
+                self._forget(node_id)
+            return released
+
+    def force_release(self, node_id: str) -> None:
+        with self._lock:
+            idx, tier = self._holding(node_id)
+            if idx == 0:
+                super().force_release(node_id)
+            else:
+                tier.ledger.force_release(node_id)
+            self._forget(node_id)
+
+    def _holding(self, node_id: str) -> tuple[int, StorageTier]:
+        if node_id in self._entries:
+            return 0, self.tiers[0]
+        idx = self._lower_location.get(node_id)
+        if idx is None:
+            raise CatalogError(f"table {node_id!r} not in any tier")
+        return idx, self.tiers[idx]
+
+    def _forget(self, node_id: str) -> None:
+        self._lower_location.pop(node_id, None)
+        self._recency.pop(node_id, None)
+
+    # ------------------------------------------------------------------
+    # recency (for the LRU policy; logical, not wall-clock)
+    # ------------------------------------------------------------------
+    def _commit_entry(self, node_id: str, size: float, n_consumers: int,
+                      materialization_pending: bool) -> None:
+        super()._commit_entry(node_id, size, n_consumers,
+                              materialization_pending)
+        self._touch(node_id)
+
+    def _touch(self, node_id: str) -> None:
+        self._tick += 1
+        self._recency[node_id] = self._tick
+
+    def note_read(self, node_id: str) -> None:
+        """Record an access for recency-based victim ranking."""
+        with self._lock:
+            if node_id in self:
+                self._touch(node_id)
+
+    # ------------------------------------------------------------------
+    # spill / promote
+    # ------------------------------------------------------------------
+    def _tier_entries(self, index: int) -> list[str]:
+        if index == 0:
+            return list(self._entries)
+        return [n for n, i in self._lower_location.items() if i == index]
+
+    def _victims(self, index: int) -> list[VictimInfo]:
+        """Policy-ranked demotion candidates resident in tier ``index``."""
+        if index + 1 >= len(self.tiers):
+            return []  # nothing below to demote into
+        ledger = self.tiers[index].ledger
+        dst_profile = self.tiers[index + 1].spec.resolved_profile()
+        infos = []
+        for node_id in self._tier_entries(index):
+            size = ledger.size_of(node_id)
+            infos.append(VictimInfo(
+                node_id=node_id,
+                size=size,
+                consumers_left=ledger.consumers_left(node_id),
+                last_access=self._recency.get(node_id, 0),
+                reload_cost=dst_profile.read_time_disk(size)))
+        return self.policy.order(infos)
+
+    def _make_room(self, index: int, size: float,
+                   now: float) -> tuple[bool, list[SpillCharge]]:
+        """Demote tier ``index`` victims until ``size`` fits there.
+
+        Returns ``(ok, charges)``; when ``ok`` is False the space cannot
+        be freed (the request exceeds the tier's admissible capacity or
+        no further victims exist).
+        """
+        tier = self.tiers[index]
+        if size > tier.ledger.available + tier.ledger.usage:
+            return False, []  # bigger than the tier can ever admit
+        charges: list[SpillCharge] = []
+        while not tier.ledger.fits(size):
+            demoted = None
+            for victim in self._victims(index):
+                # best victim first, but a lower-ranked one that *can*
+                # move beats giving up (the top pick may itself be too
+                # big for everything below)
+                demoted = self._demote_locked(victim.node_id, now)
+                if demoted is not None:
+                    break
+            if demoted is None:
+                return False, charges
+            charges.extend(demoted)
+        return True, charges
+
+    def _demote_locked(self, node_id: str,
+                       now: float) -> list[SpillCharge] | None:
+        """Move one entry a tier down, cascading; None when impossible."""
+        idx, src = self._holding(node_id)
+        if idx + 1 >= len(self.tiers):
+            return None
+        dst = self.tiers[idx + 1]
+        size = src.ledger.size_of(node_id)
+        ok, charges = self._make_room(idx + 1, size, now)
+        if not ok:
+            return None
+        entry_size, consumers, pending = src.ledger.detach(node_id)
+        dst.ledger.adopt(node_id, entry_size, consumers, pending)
+        self._lower_location[node_id] = idx + 1
+        self.spill_count += 1
+        self.spill_bytes += size
+        charges.append(SpillCharge(
+            node_id=node_id, src=src.name, dst=dst.name, size=size,
+            seconds=(src.read_seconds(size, now)
+                     + dst.write_seconds(size, now))))
+        return charges
+
+    def demote(self, node_id: str,
+               now: float = 0.0) -> list[SpillCharge]:
+        """Spill one entry a tier down (public; raises when impossible)."""
+        with self._lock:
+            charges = self._demote_locked(node_id, now)
+            if charges is None:
+                idx, src = self._holding(node_id)
+                raise BudgetExceededError(
+                    f"cannot demote {node_id!r} below tier {src.name!r}",
+                    requested=src.ledger.size_of(node_id), available=0.0)
+            return charges
+
+    def try_make_room(self, size: float,
+                      now: float = 0.0) -> tuple[bool, list[SpillCharge]]:
+        """Free RAM for ``size`` bytes by demoting victims."""
+        with self._lock:
+            return self._make_room(0, size, now)
+
+    def pick_victim(self, exclude: frozenset = frozenset()) -> str | None:
+        """Best RAM victim under the policy (real-I/O executors spill the
+        bytes themselves, then record the move with :meth:`demote`).
+        Entries named in ``exclude`` are never offered."""
+        with self._lock:
+            for victim in self._victims(0):
+                if victim.node_id not in exclude:
+                    return victim.node_id
+            return None
+
+    def spill_insert(self, node_id: str, size: float, n_consumers: int,
+                     materialization_pending: bool = True,
+                     now: float = 0.0) -> tuple[int, list[SpillCharge]]:
+        """Admit a new entry somewhere in the hierarchy.
+
+        Prefers RAM (demoting victims to make room); an entry bigger
+        than RAM itself is created directly in the first lower tier that
+        can hold it.  Returns ``(tier_index, charges)``; raises
+        :class:`BudgetExceededError` only when no tier can host the
+        entry (impossible with an unbounded last tier).  Demotions made
+        before such a failure are real — the raised error carries them
+        in a ``charges`` attribute so the caller can still bill them.
+        """
+        with self._lock:
+            self._check_new(node_id, size)
+            if node_id in self._lower_location:
+                raise CatalogError(
+                    f"table {node_id!r} already resident in tier "
+                    f"{self.tier_name(self._lower_location[node_id])!r}")
+            ok, charges = self._make_room(0, size, now)
+            if ok:
+                self.insert(node_id, size, n_consumers,
+                            materialization_pending)
+                return 0, charges
+            for idx in range(1, len(self.tiers)):
+                tier = self.tiers[idx]
+                fits, more = self._make_room(idx, size, now)
+                charges.extend(more)
+                if not fits:
+                    continue
+                tier.ledger.adopt(node_id, size, n_consumers,
+                                  materialization_pending)
+                self._lower_location[node_id] = idx
+                self._touch(node_id)
+                self.spill_count += 1
+                self.spill_bytes += size
+                charges.append(SpillCharge(
+                    node_id=node_id, src="new", dst=tier.name, size=size,
+                    seconds=tier.write_seconds(size, now)))
+                return idx, charges
+            error = BudgetExceededError(
+                f"no storage tier can host {node_id!r} ({size:.6g} GB)",
+                requested=size, available=self.available)
+            error.charges = charges
+            raise error
+
+    def promote(self, node_id: str,
+                now: float = 0.0) -> SpillCharge | None:
+        """Move a spilled entry back into RAM when it fits (no eviction).
+
+        The device read is charged by the caller at read time; the
+        promotion itself costs one in-memory create.  Returns the charge,
+        or None when the entry is already in RAM or does not fit.
+        """
+        with self._lock:
+            idx, src = self._holding(node_id)
+            if idx == 0:
+                return None
+            size = src.ledger.size_of(node_id)
+            if not self.fits(size):
+                return None
+            entry_size, consumers, pending = src.ledger.detach(node_id)
+            del self._lower_location[node_id]
+            self.adopt(node_id, entry_size, consumers, pending)
+            self.promote_count += 1
+            self.promote_bytes += size
+            seconds = (self.profile.create_time_memory(size)
+                       if self.charge_io else 0.0)
+            return SpillCharge(node_id=node_id, src=src.name, dst="ram",
+                               size=size, seconds=seconds)
+
+    def tier_read_seconds(self, node_id: str, now: float = 0.0) -> float:
+        """Device seconds to read a resident entry (0 for RAM; the caller
+        charges RAM reads at memory bandwidth as before)."""
+        with self._lock:
+            idx, tier = self._holding(node_id)
+            return tier.read_seconds(tier.ledger.size_of(node_id), now)
+
+    # ------------------------------------------------------------------
+    def tier_report(self) -> dict:
+        """Per-tier usage and spill/promote counters for RunTrace.extras."""
+        with self._lock:
+            tiers = []
+            for index, tier in enumerate(self.tiers):
+                ledger = tier.ledger
+                tiers.append({
+                    "name": tier.name,
+                    "budget": ledger.budget,
+                    "usage": ledger.usage,
+                    "peak": ledger.peak_usage,
+                    "resident": len(self._tier_entries(index)),
+                })
+            return {
+                "policy": self.policy.name,
+                "promote": self.config.promote,
+                "spill_count": self.spill_count,
+                "promote_count": self.promote_count,
+                "spill_bytes_gb": self.spill_bytes,
+                "promote_bytes_gb": self.promote_bytes,
+                "tiers": tiers,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = "->".join(tier.name for tier in self.tiers)
+        return (f"TieredLedger({names}, usage={self.usage:.3g}/"
+                f"{self.budget:.3g}, spills={self.spill_count})")
