@@ -6,11 +6,14 @@ Subcommands:
 * ``simulate`` — run a plan (or optimize first) through the refresh
   simulator and print the timing summary + Gantt chart; ``--tier``
   arms the tiered spill store (``--tier ram:4 --tier ssd:8 --tier
-  disk:inf``).
+  disk:inf``) and ``--tier-aware-plan`` lets the optimizer price
+  flagging against those tiers.
 * ``workload`` — emit one of the paper's five workloads as graph JSON.
-* ``bench`` — run one experiment driver (fig2..fig14, table3..table5).
+* ``bench`` — run one experiment driver (fig2..fig14, table3..table5,
+  plus the repo's own ``parallel``/``spill``/``spillplan`` sweeps).
 * ``minidb`` — refresh a demo SQL workload on the real MiniDB backend;
-  ``--spill-dir`` arms real spill-to-disk.
+  ``--spill-dir`` arms real spill-to-disk and ``--plan-tiers`` plans
+  tier-aware against it.
 """
 
 from __future__ import annotations
@@ -29,7 +32,7 @@ from repro.errors import ValidationError
 from repro.exec.base import backend_names
 from repro.graph.io import graph_from_json, graph_to_json
 from repro.store.config import SpillConfig, parse_tier
-from repro.store.policy import policy_names
+from repro.store.policy import policy_help, policy_names
 from repro.workloads.five_workloads import WORKLOAD_NAMES, build_workload
 
 _EXPERIMENTS = {
@@ -46,6 +49,7 @@ _EXPERIMENTS = {
     "fig14": experiments.fig14_parameter_sweep,
     "parallel": experiments.parallel_scaling,
     "spill": experiments.spill_tier_sweep,
+    "spillplan": experiments.spill_planning_sweep,
 }
 
 
@@ -84,16 +88,28 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="worker count for the parallel backend")
     p_sim.add_argument("--tier", action="append", default=[],
                        metavar="NAME:GB",
-                       help="storage tier, repeatable and ordered "
-                            "(e.g. --tier ram:4 --tier ssd:8 --tier "
-                            "disk:inf); any tier besides 'ram' arms "
+                       help="storage tier; repeat the flag once per tier, "
+                            "hottest first (e.g. --tier ram:4 --tier ssd:8 "
+                            "--tier disk:inf); any tier besides 'ram' arms "
                             "spill-to-disk")
     p_sim.add_argument("--spill-policy", default="cost",
                        choices=sorted(policy_names()),
-                       help="victim-selection policy for spilling")
+                       help=f"victim-selection policy for spilling — "
+                            f"{policy_help()}")
     p_sim.add_argument("--no-promote", action="store_true",
                        help="leave spilled tables in their tier instead "
                             "of promoting them back to RAM after a read")
+    p_sim.add_argument("--no-arbitration", action="store_true",
+                       help="disable stall-vs-spill cost arbitration "
+                            "(spill always wins, the pre-arbitration "
+                            "behavior)")
+    p_sim.add_argument("--tier-aware-plan", action="store_true",
+                       help="price flagging against the spill tiers: the "
+                            "optimizer fills an effective budget of RAM "
+                            "plus each tier's capacity discounted by its "
+                            "spill+promote cost per byte, and the plan "
+                            "records each node's expected tier (requires "
+                            "--tier)")
     p_sim.add_argument("--gantt", action="store_true",
                        help="print an ASCII execution timeline")
 
@@ -105,7 +121,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p_wl.add_argument("--output", help="write graph JSON here")
 
     p_bench = sub.add_parser("bench", help="run one paper experiment")
-    p_bench.add_argument("experiment", choices=sorted(_EXPERIMENTS))
+    p_bench.add_argument("experiment", choices=sorted(_EXPERIMENTS),
+                         help="experiment id: fig2..fig14/table3..table5 "
+                              "reproduce the paper; 'parallel' measures "
+                              "the memory-bounded scheduler; 'spill' "
+                              "sweeps RAM below a plan's peak with the "
+                              "tiered store armed; 'spillplan' compares "
+                              "tier-blind vs tier-aware planning")
 
     p_db = sub.add_parser(
         "minidb", help="refresh a demo SQL workload on the real MiniDB")
@@ -119,11 +141,17 @@ def _build_parser() -> argparse.ArgumentParser:
     p_db.add_argument("--spill-dir",
                       help="arm real spill-to-disk into this directory")
     p_db.add_argument("--spill-policy", default="cost",
-                      choices=sorted(policy_names()))
+                      choices=sorted(policy_names()),
+                      help=f"victim-selection policy for spilling — "
+                           f"{policy_help()}")
     p_db.add_argument("--plan-memory", type=float,
                       help="optimize the plan for this budget instead of "
                            "--memory (a bigger machine's plan, executed "
                            "under the smaller RAM budget)")
+    p_db.add_argument("--plan-tiers", action="store_true",
+                      help="tier-aware planning: price flagging against "
+                           "the spill tier and print each flagged MV's "
+                           "expected tier (requires --spill-dir)")
     p_db.add_argument("--method", default="sc",
                       choices=sorted(OPTIMIZER_METHODS))
     p_db.add_argument("--seed", type=int, default=0)
@@ -192,7 +220,8 @@ def _spill_setup(args) -> tuple[float, SpillConfig | None]:
     if not lower:
         return memory, None
     return memory, SpillConfig(tiers=lower, policy=args.spill_policy,
-                               promote=not args.no_promote)
+                               promote=not args.no_promote,
+                               arbitrate=not args.no_arbitration)
 
 
 def _print_spill_stats(trace) -> None:
@@ -205,6 +234,12 @@ def _print_spill_stats(trace) -> None:
     print(f"promotes:          {report['promote_count']} "
           f"({report['promote_bytes_gb']:.3f} GB)")
     print(f"spill/promote t:   {trace.spill_time:.3f} s")
+    arbitration = report.get("arbitration", {})
+    if arbitration.get("enabled"):
+        print(f"arbitration:       {arbitration['stall_wins']} stalls / "
+              f"{arbitration['spill_wins']} spills chosen "
+              f"(avoided {arbitration['avoided_spill_seconds']:.3f} s "
+              f"of spill)")
     for tier in report["tiers"]:
         budget = ("unbounded" if tier["budget"] == float("inf")
                   else f"{tier['budget']:.3f}")
@@ -220,6 +255,14 @@ def _cmd_simulate(args) -> int:
             raise ValidationError(
                 "the LRU baseline does not support storage tiers; drop "
                 "--tier or pick another method/backend")
+        if args.tier_aware_plan and spill is None:
+            raise ValidationError(
+                "--tier-aware-plan needs spill tiers; add --tier "
+                "(e.g. --tier ssd:8 --tier disk:inf)")
+        if args.tier_aware_plan and args.plan:
+            raise ValidationError(
+                "--tier-aware-plan optimizes a fresh plan; drop --plan "
+                "or pass a plan that was already tier-aware")
     except ValidationError as exc:
         # bad flag combinations keep argparse's usage-error contract
         print(f"repro-sc simulate: error: {exc}", file=sys.stderr)
@@ -229,10 +272,21 @@ def _cmd_simulate(args) -> int:
     if args.plan:
         with open(args.plan, encoding="utf-8") as handle:
             plan = Plan.from_json(handle.read())
+    elif args.tier_aware_plan:
+        plan = controller.plan(graph, memory, method=args.method,
+                               seed=args.seed, tier_aware=True)
     trace = controller.refresh(graph, memory, method=args.method,
                                seed=args.seed, plan=plan,
                                backend=args.backend, workers=args.workers)
     print(f"method:            {args.method}")
+    if plan is not None and plan.expected_tiers:
+        from collections import Counter
+
+        counts = Counter(plan.tier_map().values())
+        planned = ", ".join(f"{name}: {n}"
+                            for name, n in sorted(counts.items()))
+        print(f"planned tiers:     {planned} "
+              f"({len(plan.flagged)}/{len(plan.order)} flagged)")
     if args.backend:
         print(f"backend:           {args.backend} "
               f"(workers={args.workers})")
@@ -307,8 +361,9 @@ def _run_minidb(args, data_dir: str):
                             spill=SpillConfig(policy=args.spill_policy))
     plan_memory = (args.memory if args.plan_memory is None
                    else args.plan_memory)
-    plan = controller.plan(profiled, plan_memory,
-                           method=args.method, seed=args.seed)
+    plan = controller.plan_for_minidb(profiled, plan_memory,
+                                      method=args.method, seed=args.seed,
+                                      tier_aware=args.plan_tiers)
     trace = controller.refresh_on_minidb(
         workload, args.memory, method=args.method, seed=args.seed,
         plan=plan)
@@ -316,6 +371,11 @@ def _run_minidb(args, data_dir: str):
 
 
 def _cmd_minidb(args) -> int:
+    if args.plan_tiers and not args.spill_dir:
+        print("repro-sc minidb: error: --plan-tiers needs --spill-dir "
+              "(the extra flags would degrade to blocking writes)",
+              file=sys.stderr)
+        return 2
     if args.data_dir:
         plan, trace = _run_minidb(args, args.data_dir)
     else:
@@ -325,6 +385,9 @@ def _cmd_minidb(args) -> int:
             plan, trace = _run_minidb(args, f"{scratch}/warehouse")
     print(f"method:            {args.method} "
           f"({len(plan.flagged)}/{len(plan.order)} MVs flagged)")
+    if plan.expected_tiers:
+        for node, tier in plan.expected_tiers:
+            print(f"  planned tier:    {node:<16s} -> {tier}")
     print(f"end-to-end time:   {trace.end_to_end_time:.3f} s")
     print(f"table read:        {trace.table_read_latency:.3f} s")
     print(f"compute:           {trace.compute_latency:.3f} s")

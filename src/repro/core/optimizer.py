@@ -28,6 +28,8 @@ from __future__ import annotations
 
 import itertools
 import random
+from collections import Counter
+from dataclasses import replace
 from typing import Callable, Sequence
 
 from repro.core.alternating import (
@@ -42,7 +44,7 @@ from repro.core.order_baselines import (
 )
 from repro.core.plan import Plan
 from repro.core.problem import ScProblem
-from repro.core.residency import peak_memory_usage
+from repro.core.residency import assign_expected_tiers, peak_memory_usage
 from repro.core.selection_baselines import (
     greedy_selection,
     random_selection,
@@ -123,12 +125,43 @@ def optimize(problem: ScProblem, method: str = "sc",
              ) -> AlternatingResult:
     """Produce a refresh plan with the requested method.
 
-    ``seed`` feeds the stochastic components (random selection, SA); exact
-    methods ignore it. Raises :class:`ValidationError` on unknown methods.
+    Args:
+        problem: the S/C Opt instance.  When it carries a
+            :class:`~repro.core.problem.TierAwareBudget`, node selection
+            is priced against the *effective* budget (RAM plus the
+            discounted spill tiers) and the returned plan's
+            ``expected_tiers`` records which tier each flagged node is
+            expected to occupy.
+        method: one of :data:`OPTIMIZER_METHODS` (see the module table).
+        seed: feeds the stochastic components (random selection, SA);
+            exact methods ignore it.
+        initial_order: starting topological order for the alternating
+            loop (default: Kahn's order).
+
+    Returns:
+        An :class:`~repro.core.alternating.AlternatingResult` whose
+        ``plan`` holds the execution order and flagged set.
+
+    Raises:
+        ValidationError: for an unknown ``method`` or an
+            ``initial_order`` that is not a topological order.
+
+    Example:
+        >>> from repro.core.problem import ScProblem
+        >>> problem = ScProblem.from_tables(
+        ...     edges=[("a", "b")], sizes={"a": 1.0, "b": 1.0},
+        ...     scores={"a": 5.0, "b": 0.0}, memory_budget=2.0)
+        >>> result = optimize(problem, method="sc")
+        >>> sorted(result.plan.flagged)
+        ['a']
+        >>> result.plan.order
+        ('a', 'b')
     """
     if method not in OPTIMIZER_METHODS:
         raise ValidationError(
             f"unknown method {method!r}; choose from {OPTIMIZER_METHODS}")
+    if problem.tier_budget is not None:
+        return _optimize_tier_aware(problem, method, seed, initial_order)
     if method == "none":
         order = (list(initial_order) if initial_order is not None
                  else kahn_topological_order(problem.graph))
@@ -145,10 +178,36 @@ def optimize(problem: ScProblem, method: str = "sc",
     return optimizer.optimize(problem, initial_order=initial_order)
 
 
+def _optimize_tier_aware(problem: ScProblem, method: str, seed: int,
+                         initial_order: Sequence[str] | None,
+                         ) -> AlternatingResult:
+    """Spill-aware planning: solve against the effective budget.
+
+    The existing knapsack/ordering paths run unchanged on a shadow
+    problem whose Memory Catalog is the tier-aware *effective* budget —
+    RAM plus each spill tier's capacity discounted by its spill-write +
+    promote-read cost per byte — so selection flags more aggressively
+    exactly when spilling is cheap.  The returned plan is annotated with
+    the static tier placement every flagged node is expected to get.
+    """
+    tier_budget = problem.tier_budget
+    solver_problem = ScProblem(graph=problem.graph,
+                               memory_budget=problem.effective_budget,
+                               size_cap=tier_budget.hostable_limit())
+    result = optimize(solver_problem, method=method, seed=seed,
+                      initial_order=initial_order)
+    clamp = problem.graph.total_size()
+    placement = assign_expected_tiers(
+        problem.graph, result.plan.order, result.plan.flagged,
+        problem.memory_budget,
+        [(t.name, min(t.capacity, clamp)) for t in tier_budget.tiers])
+    return replace(result, plan=result.plan.with_expected_tiers(placement))
+
+
 def plan_summary(problem: ScProblem, result: AlternatingResult) -> dict:
     """Small dict of plan quality metrics (used by reports and the CLI)."""
     plan = result.plan
-    return {
+    summary = {
         "n_nodes": problem.n,
         "n_flagged": len(plan.flagged),
         "total_score": problem.total_score(plan.flagged),
@@ -159,3 +218,9 @@ def plan_summary(problem: ScProblem, result: AlternatingResult) -> dict:
         "iterations": result.iterations,
         "stop_reason": result.stop_reason,
     }
+    if problem.tier_budget is not None:
+        summary["effective_budget"] = problem.effective_budget
+    if plan.expected_tiers:
+        counts = Counter(plan.tier_map().values())
+        summary["planned_tiers"] = dict(sorted(counts.items()))
+    return summary

@@ -19,21 +19,34 @@ from repro.graph.topo import check_topological_order
 
 @dataclass(frozen=True)
 class Plan:
-    """Immutable (order, flagged) pair.
+    """Immutable (order, flagged) pair, optionally tier-annotated.
 
     Attributes:
         order: node ids in execution order (a topological order of the DAG).
         flagged: nodes whose outputs are kept in the Memory Catalog.
+        expected_tiers: sorted ``(node, tier_name)`` pairs recorded by
+            tier-aware planning — which storage tier each flagged node is
+            *expected* to occupy at its peak residency (``"ram"`` or a
+            spill-tier name).  Empty for tier-blind plans.  This is a
+            planning estimate; the runtime's victim policy makes the
+            actual placement.
     """
 
     order: tuple[str, ...]
     flagged: frozenset[str] = field(default_factory=frozenset)
+    expected_tiers: tuple[tuple[str, str], ...] = ()
 
     def __post_init__(self) -> None:
         unknown = self.flagged - set(self.order)
         if unknown:
             raise GraphError(
                 f"flagged nodes missing from order: {sorted(unknown)}")
+        object.__setattr__(self, "expected_tiers",
+                           tuple(self.expected_tiers))
+        stray = {v for v, _ in self.expected_tiers} - self.flagged
+        if stray:
+            raise GraphError(
+                f"expected_tiers names unflagged nodes: {sorted(stray)}")
 
     # ------------------------------------------------------------------
     @classmethod
@@ -60,6 +73,16 @@ class Plan:
     def is_flagged(self, node_id: str) -> bool:
         return node_id in self.flagged
 
+    # ------------------------------------------------------------------
+    def tier_map(self) -> dict[str, str]:
+        """``{node: expected tier}`` from :attr:`expected_tiers`."""
+        return dict(self.expected_tiers)
+
+    def with_expected_tiers(self, tiers: "dict[str, str]") -> "Plan":
+        """Copy of this plan annotated with expected tier placements."""
+        return Plan(order=self.order, flagged=self.flagged,
+                    expected_tiers=tuple(sorted(tiers.items())))
+
     def validate_against(self, graph: DependencyGraph,
                          memory_budget: float | None = None) -> None:
         """Check order validity and (optionally) the memory budget.
@@ -80,12 +103,17 @@ class Plan:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        return {"order": list(self.order), "flagged": sorted(self.flagged)}
+        payload = {"order": list(self.order), "flagged": sorted(self.flagged)}
+        if self.expected_tiers:
+            payload["tiers"] = dict(self.expected_tiers)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "Plan":
         return cls(order=tuple(payload["order"]),
-                   flagged=frozenset(payload.get("flagged", [])))
+                   flagged=frozenset(payload.get("flagged", [])),
+                   expected_tiers=tuple(
+                       sorted(payload.get("tiers", {}).items())))
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2)

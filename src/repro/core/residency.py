@@ -110,6 +110,55 @@ def is_feasible(graph: DependencyGraph, order: Sequence[str],
     return peak_memory_usage(graph, order, flagged) <= memory_budget + 1e-9
 
 
+def assign_expected_tiers(graph: DependencyGraph, order: Sequence[str],
+                          flagged: Iterable[str], ram_budget: float,
+                          tiers: Sequence[tuple[str, float]],
+                          ) -> dict[str, str]:
+    """Static tier placement for a tier-aware plan.
+
+    Predicts which storage tier each flagged node will occupy during its
+    residency interval, assuming the runtime demotes overflow downward:
+    nodes are visited in execution order and placed in the hottest tier
+    whose capacity can hold them for their *entire* interval; whatever
+    fits nowhere lands in the last tier (mirroring the runtime's
+    unbounded last resort).
+
+    Args:
+        graph: the dependency DAG.
+        order: the plan's execution order.
+        flagged: the plan's flagged set.
+        ram_budget: tier-0 (RAM) capacity in GB.
+        tiers: lower tiers as ``(name, capacity)`` pairs, hottest first.
+
+    Returns:
+        ``{node: tier_name}`` for every flagged node, tier names being
+        ``"ram"`` or the given lower-tier names.
+    """
+    flagged = set(flagged)
+    if not flagged:
+        return {}
+    intervals = residency_intervals(graph, order)
+    stray = flagged - set(intervals)
+    if stray:
+        raise GraphError(f"flagged nodes not in graph: {sorted(stray)}")
+    levels: list[tuple[str, float]] = [("ram", ram_budget), *tiers]
+    usage = [[0.0] * len(order) for _ in levels]
+    assignment: dict[str, str] = {}
+    for node in sorted(flagged, key=lambda v: (intervals[v][0], v)):
+        start, end = intervals[node]
+        size = graph.size_of(node)
+        placed = len(levels) - 1
+        for index, (_, capacity) in enumerate(levels):
+            span = usage[index][start:end + 1]
+            if (max(span) if span else 0.0) + size <= capacity + 1e-9:
+                placed = index
+                break
+        for p in range(start, end + 1):
+            usage[placed][p] += size
+        assignment[node] = levels[placed][0]
+    return assignment
+
+
 def residency_sets(graph: DependencyGraph, order: Sequence[str],
                    exclude: set[str] | None = None,
                    ) -> list[frozenset[str]]:

@@ -28,14 +28,14 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.optimizer import optimize
 from repro.core.plan import Plan
-from repro.core.problem import ScProblem
+from repro.core.problem import ScProblem, TierAwareBudget
 from repro.engine.simulator import SimulatorOptions
 from repro.engine.trace import RunTrace
 from repro.errors import ValidationError
 from repro.exec.base import create_backend
 from repro.graph.dag import DependencyGraph
 from repro.metadata.costmodel import DeviceProfile
-from repro.store.config import SpillConfig
+from repro.store.config import SpillConfig, TierSpec
 
 
 @dataclass
@@ -72,22 +72,86 @@ class Controller:
         return replace(self.options, spill=self.spill)
 
     # ------------------------------------------------------------------
+    def tier_budget(self, memory_budget: float) -> TierAwareBudget:
+        """Price the controller's spill tiers for tier-aware planning.
+
+        Args:
+            memory_budget: the RAM budget the plan will run under.
+
+        Returns:
+            A :class:`~repro.core.problem.TierAwareBudget` built from
+            the controller's spill configuration and device profile.
+
+        Raises:
+            ValidationError: when no spill configuration is armed
+                (``Controller.spill`` or ``options.spill``) — a
+                tier-aware plan without tiers to spill into would be
+                executed as infeasible.
+        """
+        spill = self._effective_options().spill
+        if spill is None:
+            raise ValidationError(
+                "tier-aware planning needs a spill configuration; set "
+                "Controller.spill or options.spill")
+        return TierAwareBudget.from_spill(memory_budget, spill,
+                                          profile=self.profile)
+
     def plan(self, graph: DependencyGraph, memory_budget: float,
-             method: str = "sc", seed: int = 0) -> Plan:
-        """Run the Optimizer and return the refresh plan."""
-        problem = ScProblem(graph=graph, memory_budget=memory_budget)
+             method: str = "sc", seed: int = 0,
+             tier_aware: bool = False) -> Plan:
+        """Run the Optimizer and return the refresh plan.
+
+        Args:
+            graph: the dependency DAG to refresh.
+            memory_budget: Memory Catalog (RAM) size in GB.
+            method: optimizer method name (see
+                :data:`~repro.core.optimizer.OPTIMIZER_METHODS`).
+            seed: seed for the stochastic optimizer components.
+            tier_aware: price flagging against the controller's spill
+                tiers (:meth:`tier_budget`) so the plan flags more
+                aggressively when spilling is cheap; the returned plan's
+                ``expected_tiers`` records the anticipated placements.
+
+        Returns:
+            The refresh :class:`~repro.core.plan.Plan`.
+
+        Raises:
+            ValidationError: unknown method, or ``tier_aware`` without a
+                spill configuration.
+        """
+        tier_budget = (self.tier_budget(memory_budget) if tier_aware
+                       else None)
+        problem = ScProblem(graph=graph, memory_budget=memory_budget,
+                            tier_budget=tier_budget)
         return optimize(problem, method=method, seed=seed).plan
 
     def refresh(self, graph: DependencyGraph, memory_budget: float,
                 method: str = "sc", seed: int = 0,
                 plan: Plan | None = None, backend: str | None = None,
-                workers: int | None = None) -> RunTrace:
+                workers: int | None = None,
+                tier_aware: bool = False) -> RunTrace:
         """Optimize (unless a plan is given) and execute a refresh run.
 
-        ``backend`` picks the executor by registry name (default: the
-        controller's ``backend`` field).  ``method="lru"`` routes to the
-        plan-free LRU baseline; it takes no plan and no other backend.
-        ``workers`` only matters to parallel backends.
+        Args:
+            graph: the dependency DAG to refresh.
+            memory_budget: Memory Catalog (RAM) size in GB.
+            method: optimizer method; ``"lru"`` routes to the plan-free
+                LRU baseline (no plan, no other backend).
+            seed: optimizer/scheduler seed.
+            plan: pre-computed plan; skips optimization when given.
+            backend: executor registry name (default: the controller's
+                ``backend`` field).
+            workers: worker count for parallel backends.
+            tier_aware: when optimizing here (no ``plan`` given), price
+                flagging against the spill tiers (see :meth:`plan`).
+
+        Returns:
+            The run's :class:`~repro.engine.trace.RunTrace`.
+
+        Raises:
+            ValidationError: inconsistent method/backend combinations,
+                spill on the LRU baseline, or ``tier_aware`` without a
+                spill configuration.
         """
         name = backend or ("lru" if method == "lru" else self.backend)
         if method == "lru" and name != "lru":
@@ -113,13 +177,44 @@ class Controller:
             # plan-free baselines validate that no plan was smuggled in
             return executor.run(graph, plan, memory_budget, method=method)
         if plan is None:
-            plan = self.plan(graph, memory_budget, method=method, seed=seed)
+            plan = self.plan(graph, memory_budget, method=method, seed=seed,
+                             tier_aware=tier_aware)
         return executor.run(graph, plan, memory_budget, method=method)
 
     # ------------------------------------------------------------------
+    def minidb_tier_budget(self, memory_budget: float) -> TierAwareBudget:
+        """Tier-aware budget matching the MiniDB backend's spill tier.
+
+        The MiniDB executor spills into one unbounded ``"spill-disk"``
+        tier under ``spill_dir``; this prices exactly that hierarchy so
+        a tier-aware plan anticipates the real run's storage layout.
+        """
+        spill = SpillConfig(
+            tiers=(TierSpec("spill-disk"),),
+            policy=self.spill.policy if self.spill else "cost")
+        return TierAwareBudget.from_spill(memory_budget, spill,
+                                          profile=self.profile)
+
+    def plan_for_minidb(self, graph: DependencyGraph, memory_budget: float,
+                        method: str = "sc", seed: int = 0,
+                        tier_aware: bool = False) -> Plan:
+        """Optimize a plan for a MiniDB run (see :meth:`plan`).
+
+        With ``tier_aware`` the problem carries
+        :meth:`minidb_tier_budget` instead of the simulated-backend
+        spill tiers, so flagging is priced against the real spill
+        directory's device model.
+        """
+        tier_budget = (self.minidb_tier_budget(memory_budget)
+                       if tier_aware else None)
+        problem = ScProblem(graph=graph, memory_budget=memory_budget,
+                            tier_budget=tier_budget)
+        return optimize(problem, method=method, seed=seed).plan
+
     def refresh_on_minidb(self, workload, memory_budget: float,
                           method: str = "sc", seed: int = 0,
-                          plan: Plan | None = None) -> RunTrace:
+                          plan: Plan | None = None,
+                          tier_aware: bool = False) -> RunTrace:
         """Execute a SQL workload on the real MiniDB backend.
 
         ``workload`` is a :class:`repro.db.engine.SqlWorkload` — a MiniDB
@@ -131,10 +226,33 @@ class Controller:
         ``memory_budget`` grants (a plan built for a bigger machine);
         with ``spill_dir`` set the run then completes through real
         spills instead of losing flags to blocking writes.
+
+        Args:
+            workload: the SQL workload to refresh.
+            memory_budget: RAM budget in GB for the memory catalog.
+            method: optimizer method name.
+            seed: optimizer seed.
+            plan: pre-computed plan; skips optimization when given.
+            tier_aware: when optimizing here, price flagging against
+                the MiniDB spill tier (:meth:`minidb_tier_budget`);
+                requires ``spill_dir`` so the run can honor the flags.
+
+        Returns:
+            The run's wall-clock :class:`~repro.engine.trace.RunTrace`.
+
+        Raises:
+            ValidationError: ``tier_aware`` without a ``spill_dir``.
         """
         graph = workload.graph()
+        if tier_aware and not self.spill_dir:
+            raise ValidationError(
+                "tier-aware MiniDB planning needs spill_dir armed; the "
+                "plan's extra flags would otherwise degrade to blocking "
+                "writes")
         if plan is None:
-            plan = self.plan(graph, memory_budget, method=method, seed=seed)
+            plan = self.plan_for_minidb(graph, memory_budget,
+                                        method=method, seed=seed,
+                                        tier_aware=tier_aware)
         extra = {}
         if self.spill_dir:
             extra["spill_dir"] = self.spill_dir

@@ -58,9 +58,11 @@ class SimulatorOptions:
             itself is infeasible (optimizer bug guard in tests).
         spill: optional :class:`~repro.store.config.SpillConfig` enabling
             the tiered store — flagged outputs that do not fit in RAM
-            demote victims to lower tiers (charging those tiers' device
-            times) instead of stalling or losing their flag.  ``None``
-            (default) keeps the original single-tier behavior exactly.
+            keep their flag by demoting victims to lower tiers (charging
+            those tiers' device times), with stall-vs-spill arbitration
+            weighing each demotion against waiting for a pending drain
+            (``SpillConfig.arbitrate``).  ``None`` (default) keeps the
+            original single-tier behavior exactly.
     """
 
     on_overflow: str = "spill"
@@ -255,10 +257,11 @@ class RefreshSimulator:
         stalls only while the wait is cheaper than the spill — so a plan can
         never lose more than one blocking write to drain backpressure.
 
-        With a tiered store configured the trade is different: demoting a
-        cold victim to a lower tier is priced by that tier's device, so
-        the node neither stalls nor loses its flag (see
-        :meth:`_create_tiered`).
+        With a tiered store configured the trade is richer: demoting a
+        cold victim to a lower tier is priced by that tier's device, and
+        the Controller arbitrates between stalling for a pending drain
+        and paying that demote+promote round trip — the node keeps its
+        flag either way (see :meth:`_create_tiered`).
         """
         self._apply_drains(catalog, drain_events, clock)
         if self.options.spill is not None:
@@ -308,12 +311,29 @@ class RefreshSimulator:
                        storage: StorageDevice,
                        drain_events: list[tuple[float, str]],
                        spilled: set[str], trace: NodeTrace) -> float:
-        """Flagged output with the tiered store: demote victims, never
-        stall.  An output bigger than RAM is created directly in a lower
-        tier; only when *no* tier can host it (finite hierarchy) does the
-        node fall back to losing its flag with a blocking write."""
-        from repro.store.tiered import charge_tiered_output
+        """Flagged output with the tiered store: stall-vs-spill
+        arbitration, then demote whatever is still needed.
 
+        When the output does not fit in RAM the simulator weighs two
+        rational moves at each pending drain: *stall* until the drain
+        frees space, or *spill* the policy's best victims to a lower
+        tier and pay their promote round trip later.  It stalls only
+        while waiting is modeled cheaper than the spill
+        (``SpillConfig.arbitrate=False`` restores spill-always-wins).
+        An output bigger than RAM is created directly in a lower tier;
+        only when *no* tier can host it (finite hierarchy) does the node
+        fall back to losing its flag with a blocking write."""
+        from repro.store.tiered import (
+            arbitrate_admission,
+            charge_tiered_output,
+        )
+
+        clock = arbitrate_admission(
+            catalog, size, clock, trace,
+            next_drain_time=lambda: (drain_events[0][0] if drain_events
+                                     else None),
+            apply_drains=lambda now: self._apply_drains(
+                catalog, drain_events, now))
         clock, inserted = charge_tiered_output(
             catalog, node_id, size, graph.out_degree(node_id), clock,
             trace, storage, self.profile.create_time_memory,

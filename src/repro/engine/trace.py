@@ -3,11 +3,18 @@
 Everything the paper reports about a run derives from these records:
 end-to-end makespan (Figures 9/10/11), table-read / compute / query CPU
 latency splits (Table IV), and read/compute/write percentages (Figure 3).
+
+Traces serialize losslessly to JSON (:meth:`RunTrace.to_json` /
+:meth:`RunTrace.from_json`) so benchmark sweeps can persist runs —
+including the generic ``extras`` mapping the tiered store uses for
+per-tier usage, spill/promote counts, and stall-vs-spill arbitration
+outcomes — and reload them bit-identically.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 
 
 @dataclass
@@ -21,7 +28,10 @@ class NodeTrace:
     store enabled, ``spill_write`` is time spent demoting victims to a
     lower tier on this node's behalf and ``promote_read`` is time spent
     copying spilled parents back into RAM (the device read of a spilled
-    parent itself lands in ``read_disk``).
+    parent itself lands in ``read_disk``); ``admission`` records the
+    stall-vs-spill arbitration outcome at this node's output —
+    ``"stall"`` (waiting for a drain was modeled cheaper), ``"spill"``
+    (demoting won), or ``""`` when no arbitration happened.
     """
 
     node_id: str
@@ -36,6 +46,7 @@ class NodeTrace:
     spill_write: float = 0.0
     promote_read: float = 0.0
     flagged: bool = False
+    admission: str = ""
     cache_hits: int = 0
     cache_misses: int = 0
 
@@ -46,6 +57,16 @@ class NodeTrace:
     @property
     def elapsed(self) -> float:
         return self.end - self.start
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict form (all fields, JSON-compatible)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "NodeTrace":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**payload)
 
 
 @dataclass
@@ -103,6 +124,18 @@ class RunTrace:
         """Total time spent moving bytes between storage tiers."""
         return sum(n.spill_write + n.promote_read for n in self.nodes)
 
+    @property
+    def stall_avoided_time(self) -> float:
+        """Modeled spill seconds avoided by stall-vs-spill arbitration.
+
+        Summed over every admission where stalling won: the demote +
+        promote round-trip cost the run would have paid under the old
+        spill-always-wins rule.  Zero when no tiered store ran.
+        """
+        report = self.extras.get("tiered_store", {})
+        return report.get("arbitration", {}).get(
+            "avoided_spill_seconds", 0.0)
+
     def breakdown(self) -> dict[str, float]:
         """Fraction of summed node time per category (Figure 3 axes)."""
         read = self.table_read_latency
@@ -118,6 +151,40 @@ class RunTrace:
         """I/O share of total node time (Table III's "I/O ratio")."""
         parts = self.breakdown()
         return parts["read"] + parts["write"]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict form of the whole run (JSON-compatible).
+
+        ``extras`` is carried as-is; backends must keep it built from
+        JSON-compatible scalars/lists/dicts (``inf`` budgets are fine —
+        the :mod:`json` module round-trips them as ``Infinity``).
+        """
+        return {
+            "nodes": [node.to_dict() for node in self.nodes],
+            "end_to_end_time": self.end_to_end_time,
+            "compute_finished_at": self.compute_finished_at,
+            "background_drained_at": self.background_drained_at,
+            "peak_catalog_usage": self.peak_catalog_usage,
+            "memory_budget": self.memory_budget,
+            "method": self.method,
+            "extras": self.extras,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunTrace":
+        """Inverse of :meth:`to_dict`."""
+        data = dict(payload)
+        nodes = [NodeTrace.from_dict(n) for n in data.pop("nodes", [])]
+        return cls(nodes=nodes, **data)
+
+    def to_json(self) -> str:
+        """JSON text round-trippable through :meth:`from_json`."""
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunTrace":
+        return cls.from_dict(json.loads(text))
 
     # ------------------------------------------------------------------
     def gantt(self, width: int = 72) -> str:

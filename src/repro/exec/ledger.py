@@ -98,16 +98,30 @@ class MemoryLedger:
         return list(self._entries)
 
     def consumers_left(self, node_id: str) -> int:
-        """Outstanding consumer count of a resident entry."""
+        """Outstanding consumer count of a resident entry.
+
+        Raises:
+            CatalogError: when ``node_id`` is not resident.
+        """
         with self._lock:
             return self._require(node_id).consumers_left
 
     def size_of(self, node_id: str) -> float:
-        """Resident size of an entry."""
+        """Resident size of an entry.
+
+        Raises:
+            CatalogError: when ``node_id`` is not resident.
+        """
         with self._lock:
             return self._require(node_id).size
 
     def fits(self, size: float) -> bool:
+        """Whether ``size`` GB can be admitted right now.
+
+        Epsilon-tolerant (``1e-12`` slack, mirroring the optimizer's
+        feasibility epsilon) and reservation-aware: bytes promised to
+        dispatched nodes count as taken.
+        """
         with self._lock:
             return size <= self.available + _EPS
 
@@ -146,8 +160,18 @@ class MemoryLedger:
                materialization_pending: bool = True) -> None:
         """Create a table in memory.
 
-        Raises :class:`BudgetExceededError` when the table does not fit —
-        callers decide whether to stall, spill, or abort.
+        Args:
+            node_id: the entry's id (must not already be resident).
+            size: bytes (GB) the entry occupies.
+            n_consumers: downstream readers that must finish before the
+                entry may release.
+            materialization_pending: hold the entry until its background
+                write to durable storage drains (:meth:`materialized`).
+
+        Raises:
+            BudgetExceededError: when the table does not fit — callers
+                decide whether to stall, spill, or abort.
+            CatalogError: duplicate id or negative size.
         """
         with self._lock:
             self._check_new(node_id, size)
@@ -220,7 +244,13 @@ class MemoryLedger:
     def consumer_done(self, node_id: str) -> bool:
         """One consumer finished reading ``node_id``; release if possible.
 
-        Returns True when the entry was evicted.
+        Returns:
+            True when the entry was evicted (both the consumer count and
+            the materialization hold have cleared).
+
+        Raises:
+            CatalogError: when ``node_id`` is not resident or has no
+                outstanding consumers.
         """
         with self._lock:
             entry = self._require(node_id)
@@ -231,7 +261,15 @@ class MemoryLedger:
             return self._maybe_release(node_id)
 
     def materialized(self, node_id: str) -> bool:
-        """Background materialization of ``node_id`` completed."""
+        """Background materialization of ``node_id`` completed.
+
+        Returns:
+            True when the entry was evicted (no consumers remained).
+
+        Raises:
+            CatalogError: when ``node_id`` is not resident or was
+                already materialized.
+        """
         with self._lock:
             entry = self._require(node_id)
             if not entry.materialization_pending:

@@ -35,6 +35,15 @@ escapes drain backpressure: when nothing is running, nothing is draining,
 and no ready node fits, the highest-priority ready node runs *spilled*
 (blocking write, no flag) — so a refresh can always make progress, and
 ``on_overflow="error"`` raises instead.
+
+With a tiered store armed, admission decisions go through stall-vs-spill
+cost arbitration (``SpillConfig.arbitrate``): in serial mode the shared
+:func:`~repro.store.tiered.arbitrate_admission` rule applies at output
+time (bit-equal to the serial simulator); with ``workers > 1`` the same
+trade is made at dispatch time (:meth:`ParallelSimulatorBackend.
+_prefers_stall`) — a blocked flagged node demotes victims only when the
+modeled demote+promote round trip is cheaper than waiting for the next
+completion or drain.
 """
 
 from __future__ import annotations
@@ -92,9 +101,13 @@ class _SchedulerState:
     # tiered-store bookkeeping: demotion charges made while admitting a
     # node (successful or not), billed to that node's timeline when it
     # executes; tier_direct marks flagged outputs bigger than RAM that
-    # will be placed below RAM at their completion event
+    # will be placed below RAM at their completion event; arb_pending
+    # holds each blocked node's first spill estimate until its
+    # admission resolves (stall win vs eventual demotion)
     pending_spill: dict[str, list] = field(default_factory=dict)
     tier_direct: set[str] = field(default_factory=set)
+    arb_pending: dict[str, float] = field(default_factory=dict)
+    arb_resolved: set[str] = field(default_factory=set)
 
 
 @register_backend
@@ -276,17 +289,28 @@ class ParallelSimulatorBackend(ExecutionBackend):
                         and node_id not in state.tier_direct):
                     size = ctx.graph.size_of(node_id)
                     if ctx.ledger.reserve(node_id, size):
+                        self._resolve_arbitration(ctx, node_id,
+                                                  stalled=True)
                         chosen = node_id
                         break
-                    if tiered:
-                        # demote victims to a lower tier instead of
-                        # blocking the reservation
+                    if tiered and not self._prefers_stall(ctx, node_id,
+                                                          size):
+                        # spilling is modeled cheaper than waiting for
+                        # in-flight work: demote victims to a lower tier
+                        # instead of blocking the reservation
                         ok, charges = ctx.ledger.try_make_room(
                             size, now=state.now)
                         if charges:
                             state.pending_spill.setdefault(
                                 node_id, []).extend(charges)
+                            # demotions happened for this admission: its
+                            # arbitration resolved as a spill even if
+                            # the reservation only lands later
+                            self._resolve_arbitration(ctx, node_id,
+                                                      stalled=False)
                         if ok and ctx.ledger.reserve(node_id, size):
+                            self._resolve_arbitration(ctx, node_id,
+                                                      stalled=False)
                             chosen = node_id
                             break
                     state.blocked_since.setdefault(node_id, state.now)
@@ -311,8 +335,69 @@ class ParallelSimulatorBackend(ExecutionBackend):
                     state.tier_direct.add(candidates[0])
                 else:
                     state.spilled.add(candidates[0])
+                # RAM never hosts this output; any open arbitration on
+                # it is moot
+                state.arb_pending.pop(candidates[0], None)
                 continue
             self.execute_node(ctx, chosen)
+
+    def _prefers_stall(self, ctx: ExecutionContext, node_id: str,
+                       size: float) -> bool:
+        """Dispatch-time stall-vs-spill arbitration (``workers > 1``).
+
+        A flagged candidate whose reservation does not fit may either
+        demote victims now or stay blocked until in-flight work frees
+        space.  Waiting wins when something *is* in flight and the next
+        event arrives sooner than the modeled demote+promote round trip
+        of the victims a spill would move (estimated by
+        :meth:`~repro.store.tiered.TieredLedger.estimate_spill_seconds`).
+
+        Nothing is counted here: the node's first spill estimate parks
+        in ``state.arb_pending`` and the decision is recorded by
+        :meth:`_resolve_arbitration` once the admission actually
+        resolves — a reservation that later succeeds without demotions
+        is a stall win; one that ends in ``try_make_room`` charges is a
+        spill win, however many rounds it stayed blocked in between.
+        """
+        state: _SchedulerState = ctx.payload
+        ledger = ctx.ledger
+        if not ledger.config.arbitrate:
+            return False
+        if state.running <= 0 and state.drains_pending <= 0:
+            return False  # nothing can free space: waiting cannot help
+        if not state.events:
+            return False
+        estimate = ledger.estimate_spill_seconds(size, now=state.now)
+        if estimate is None:
+            return False  # RAM can never host it: tier-direct placement
+        if node_id not in state.arb_resolved:
+            state.arb_pending.setdefault(node_id, estimate)
+        return state.events[0][0] - state.now <= estimate
+
+    def _resolve_arbitration(self, ctx: ExecutionContext, node_id: str,
+                             stalled: bool) -> None:
+        """Record the outcome of a dispatch-time arbitration, if any.
+
+        No-op for nodes that never went through
+        :meth:`_prefers_stall` or whose admission already resolved;
+        otherwise books the stall win (with the wait actually served
+        and the first spill estimate it avoided) or the spill win into
+        the ledger's arbitration counters — at most one decision per
+        node admission.
+        """
+        state: _SchedulerState = ctx.payload
+        estimate = state.arb_pending.pop(node_id, None)
+        if estimate is None:
+            return
+        state.arb_resolved.add(node_id)
+        if stalled:
+            waited = state.now - state.blocked_since.get(node_id,
+                                                         state.now)
+            ctx.ledger.record_arbitration(stalled=True,
+                                          stall_seconds=waited,
+                                          avoided=estimate)
+        else:
+            ctx.ledger.record_arbitration(stalled=False)
 
     def _process_next_event(self, ctx: ExecutionContext) -> None:
         state: _SchedulerState = ctx.payload
@@ -421,13 +506,28 @@ class ParallelSimulatorBackend(ExecutionBackend):
                               size: float, clock: float, trace: NodeTrace,
                               options: SimulatorOptions,
                               profile: DeviceProfile) -> float:
-        """Serial-mode flagged output with the tiered store: demote
-        victims (or place the output itself in a lower tier) instead of
-        stalling — mirrors the serial simulator's ``_create_tiered``."""
-        from repro.store.tiered import charge_tiered_output
+        """Serial-mode flagged output with the tiered store: arbitrate
+        stall-vs-spill, then demote victims (or place the output itself
+        in a lower tier) — mirrors the serial simulator's
+        ``_create_tiered`` exactly, including the arbitration, so
+        ``workers=1`` stays bit-equal."""
+        from repro.store.tiered import (
+            arbitrate_admission,
+            charge_tiered_output,
+        )
 
         state: _SchedulerState = ctx.payload
         self._pop_drains_until(ctx, clock)
+        if self.workers == 1:
+            # multi-worker tier_direct outputs skip this: their events
+            # heap can hold other nodes' completions, and their
+            # arbitration already happened at dispatch time
+            clock = arbitrate_admission(
+                ctx.ledger, size, clock, trace,
+                next_drain_time=lambda: (
+                    state.events[0][0]
+                    if state.drains_pending > 0 and state.events else None),
+                apply_drains=lambda now: self._pop_drains_until(ctx, now))
         clock, inserted = charge_tiered_output(
             ctx.ledger, node_id, size, ctx.graph.out_degree(node_id),
             clock, trace, state.storage, profile.create_time_memory,

@@ -48,9 +48,15 @@ def solve_knapsack_dp(profits: Sequence[float], weights: Sequence[float],
                            objective=sum(profits[i] for i in free),
                            optimal=True, notes="dp-trivial")
 
+    # The round-up epsilon must be *relative*: at large resolutions the
+    # float error of ``w * scale`` exceeds any fixed absolute slack, and
+    # an item weighing exactly the capacity would otherwise round to
+    # ``resolution + 1`` and be rejected outright.
     scale = resolution / capacity
-    scaled = [min(resolution + 1, math.ceil(w * scale - 1e-12))
-              if w > 0 else 0 for w in weights]
+    scaled = [min(resolution + 1,
+                  math.ceil(v - 1e-12 * max(1.0, v)))
+              if w > 0 else 0
+              for w, v in ((w, w * scale) for w in weights)]
 
     # best[c] = max profit using capacity exactly <= c; choice bitsets via
     # per-item predecessor table to reconstruct the selection.

@@ -108,11 +108,22 @@ class SpillConfig:
             ``"largest"``.
         promote: copy a spilled entry back into RAM after a read when it
             fits, so later consumers get memory-bandwidth reads.
+        arbitrate: weigh stalling against spilling at each admission
+            decision — when background drains are pending and waiting
+            for them is modeled cheaper than the demote+promote round
+            trip of the best victims, the run stalls instead of
+            spilling.  ``False`` restores the spill-always-wins rule
+            (useful as an ablation baseline).
+
+    Raises:
+        ValidationError: for an empty hierarchy, duplicate tier names,
+            or a tier named ``"ram"``.
     """
 
     tiers: tuple[TierSpec, ...] = (TierSpec("disk"),)
     policy: str = "cost"
     promote: bool = True
+    arbitrate: bool = True
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "tiers", tuple(self.tiers))

@@ -86,6 +86,26 @@ def policy_names() -> tuple[str, ...]:
     return tuple(sorted(_POLICIES))
 
 
+def policy_summaries() -> dict[str, str]:
+    """``{name: one-line description}`` for every registered policy.
+
+    The description is each policy class's docstring headline, so CLI
+    help text stays in sync with the registry — a newly registered
+    policy documents itself everywhere at once.
+    """
+    return {
+        name: ((cls.__doc__ or "").strip().splitlines()
+               or ["(undocumented)"])[0].rstrip(".")
+        for name, cls in sorted(_POLICIES.items())
+    }
+
+
+def policy_help() -> str:
+    """Human-readable choice list for CLI ``--spill-policy`` help."""
+    return "; ".join(f"'{name}': {summary}"
+                     for name, summary in policy_summaries().items())
+
+
 def create_policy(name: str) -> SpillPolicy:
     """Instantiate a policy by registry name."""
     if name not in _POLICIES:

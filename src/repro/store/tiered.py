@@ -39,6 +39,76 @@ class SpillCharge:
     seconds: float
 
 
+def arbitrate_admission(ledger: "TieredLedger", size: float, clock: float,
+                        trace, next_drain_time, apply_drains) -> float:
+    """Stall-vs-spill arbitration ahead of a tiered admission.
+
+    The one decision rule shared by the serial simulator and the
+    parallel scheduler's serial mode (so ``workers=1`` bit-equality
+    holds): while the incoming flagged output does not fit in RAM and
+    background drains are pending, compare the modeled cost of
+    *stalling* (wait for the next drain to free space) against the
+    modeled cost of *spilling* (demote the policy's best victims and pay
+    their promote round trip later, via
+    :meth:`TieredLedger.estimate_spill_seconds`) and take the cheaper
+    action.  Decisions are counted on the ledger and surface in
+    ``tier_report()["arbitration"]``; the chosen action is recorded in
+    ``trace.admission``.
+
+    Args:
+        ledger: the run's tiered ledger.
+        size: the flagged output's size in GB.
+        clock: the node's current timeline position.
+        trace: the node's :class:`~repro.engine.trace.NodeTrace`
+            (``stall`` accrues here).
+        next_drain_time: zero-arg callable returning the next pending
+            drain's completion time, or ``None`` when nothing drains.
+        apply_drains: one-arg callable releasing every drain due by the
+            given time.
+
+    Returns:
+        The possibly-advanced clock.  The caller then admits the output
+        with :func:`charge_tiered_output`, which only demotes if the
+        stalls did not free enough room.
+    """
+    if not ledger.config.arbitrate:
+        return clock
+    stall_begun = clock
+    avoided = None
+    while not ledger.fits(size):
+        est = ledger.estimate_spill_seconds(size, now=clock)
+        if est is None:
+            break  # RAM cannot host it at all: no decision to make
+        event_time = next_drain_time()
+        if event_time is None:
+            break  # nothing draining: spilling is the only move
+        if event_time <= clock:
+            apply_drains(clock)
+            continue
+        if event_time > clock + est:
+            # waiting is modeled dearer than the spill round trip
+            trace.admission = "spill"
+            ledger.record_arbitration(stalled=False)
+            break
+        if avoided is None:
+            avoided = est
+        trace.stall += event_time - clock
+        clock = event_time
+        apply_drains(clock)
+    if avoided is not None:
+        if ledger.fits(size):
+            trace.admission = "stall"
+            ledger.record_arbitration(stalled=True,
+                                      stall_seconds=clock - stall_begun,
+                                      avoided=avoided)
+        elif trace.admission != "spill":
+            # stalled through every drain and still short on room: the
+            # admission ends in a (smaller) spill
+            trace.admission = "spill"
+            ledger.record_arbitration(stalled=False)
+    return clock
+
+
 def charge_resident_read(ledger: "TieredLedger", spill: SpillConfig,
                          parent: str, clock: float, trace) -> \
         tuple[bool, float]:
@@ -153,6 +223,9 @@ class TieredLedger(MemoryLedger):
     * :meth:`promote` — bring a spilled entry back up after a read;
     * :meth:`tier_read_seconds` / :meth:`note_read` — charge and record
       reads of resident entries wherever they live;
+    * :meth:`estimate_spill_seconds` / :meth:`record_arbitration` — the
+      cost model and outcome counters behind stall-vs-spill arbitration
+      (see :func:`arbitrate_admission`);
     * :meth:`pick_victim` / :meth:`demote` — the two-step protocol for
       executors doing *real* I/O, which move bytes themselves and then
       record the accounting move (``charge_io=False`` keeps every
@@ -184,6 +257,11 @@ class TieredLedger(MemoryLedger):
         self.promote_count = 0
         self.spill_bytes = 0.0
         self.promote_bytes = 0.0
+        # stall-vs-spill arbitration outcomes (see arbitrate_admission)
+        self.stall_wins = 0
+        self.spill_wins = 0
+        self.stall_seconds = 0.0
+        self.avoided_spill_seconds = 0.0
 
     # ------------------------------------------------------------------
     # routing: an entry lives in exactly one tier
@@ -453,6 +531,67 @@ class TieredLedger(MemoryLedger):
             return SpillCharge(node_id=node_id, src=src.name, dst="ram",
                                size=size, seconds=seconds)
 
+    def estimate_spill_seconds(self, size: float,
+                               now: float = 0.0) -> float | None:
+        """Modeled cost of admitting ``size`` GB into RAM by demoting.
+
+        Walks the victim policy's ranking, summing for each victim that
+        would have to move: the migration write into the next tier plus
+        the expected reload penalty its remaining consumers will pay
+        (one device read — and one promote-create when promotion is on;
+        without promotion every remaining consumer re-reads the tier).
+        Cascade demotions further down are not modeled — this is an
+        *estimate* for stall-vs-spill arbitration, not a quote.
+
+        Returns:
+            ``0.0`` when the size already fits, ``None`` when no amount
+            of demotion can make it fit (bigger than RAM's admissible
+            capacity, or not enough movable victims), the modeled
+            seconds otherwise.
+        """
+        with self._lock:
+            if self.fits(size):
+                return 0.0
+            if size > self.available + self.usage + 1e-12:
+                return None  # exceeds what RAM can ever admit
+            deficit = size - self.available
+            dst = self.tiers[1]
+            freed = 0.0
+            cost = 0.0
+            for victim in self._victims(0):
+                if freed >= deficit - 1e-12:
+                    break
+                freed += victim.size
+                cost += dst.write_seconds(victim.size, now)
+                if victim.consumers_left > 0:
+                    if self.config.promote:
+                        cost += (victim.reload_cost
+                                 + (self.profile.create_time_memory(
+                                     victim.size) if self.charge_io
+                                    else 0.0))
+                    else:
+                        cost += victim.consumers_left * victim.reload_cost
+            if freed < deficit - 1e-12:
+                return None
+            return cost
+
+    def record_arbitration(self, stalled: bool, stall_seconds: float = 0.0,
+                           avoided: float = 0.0) -> None:
+        """Count one stall-vs-spill decision (see ``arbitrate_admission``).
+
+        Args:
+            stalled: True when stalling won the arbitration.
+            stall_seconds: simulated seconds the winner stalled for.
+            avoided: the modeled spill cost the stall avoided.
+        """
+        with self._lock:
+            if stalled:
+                self.stall_wins += 1
+                self.stall_seconds += stall_seconds
+                self.avoided_spill_seconds += avoided
+            else:
+                self.spill_wins += 1
+
     def tier_read_seconds(self, node_id: str, now: float = 0.0) -> float:
         """Device seconds to read a resident entry (0 for RAM; the caller
         charges RAM reads at memory bandwidth as before)."""
@@ -481,6 +620,13 @@ class TieredLedger(MemoryLedger):
                 "promote_count": self.promote_count,
                 "spill_bytes_gb": self.spill_bytes,
                 "promote_bytes_gb": self.promote_bytes,
+                "arbitration": {
+                    "enabled": self.config.arbitrate,
+                    "stall_wins": self.stall_wins,
+                    "spill_wins": self.spill_wins,
+                    "stall_seconds": self.stall_seconds,
+                    "avoided_spill_seconds": self.avoided_spill_seconds,
+                },
                 "tiers": tiers,
             }
 
