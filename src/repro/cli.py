@@ -6,14 +6,18 @@ Subcommands:
 * ``simulate`` — run a plan (or optimize first) through the refresh
   simulator and print the timing summary + Gantt chart; ``--tier``
   arms the tiered spill store (``--tier ram:4 --tier ssd:8 --tier
-  disk:inf``) and ``--tier-aware-plan`` lets the optimizer price
-  flagging against those tiers.
+  disk:inf``), ``--spill-codec zlib`` compresses the spill files (with
+  decode-aware costing), ``--prefetch`` promotes spilled parents ahead
+  of their consumers, and ``--tier-aware-plan`` lets the optimizer
+  price flagging against those tiers.
 * ``workload`` — emit one of the paper's five workloads as graph JSON.
 * ``bench`` — run one experiment driver (fig2..fig14, table3..table5,
-  plus the repo's own ``parallel``/``spill``/``spillplan`` sweeps).
+  plus the repo's own ``parallel``/``spill``/``spillplan``/
+  ``spillcodec`` sweeps).
 * ``minidb`` — refresh a demo SQL workload on the real MiniDB backend;
-  ``--spill-dir`` arms real spill-to-disk and ``--plan-tiers`` plans
-  tier-aware against it.
+  ``--spill-dir`` arms real spill-to-disk (``--spill-codec zlib``
+  compresses the dumps for real) and ``--plan-tiers`` plans tier-aware
+  against it.
 """
 
 from __future__ import annotations
@@ -31,7 +35,7 @@ from repro.engine.simulator import SimulatorOptions
 from repro.errors import ValidationError
 from repro.exec.base import backend_names
 from repro.graph.io import graph_from_json, graph_to_json
-from repro.store.config import SpillConfig, parse_tier
+from repro.store.config import SPILL_CODECS, SpillConfig, parse_tier
 from repro.store.policy import policy_help, policy_names
 from repro.workloads.five_workloads import WORKLOAD_NAMES, build_workload
 
@@ -50,6 +54,7 @@ _EXPERIMENTS = {
     "parallel": experiments.parallel_scaling,
     "spill": experiments.spill_tier_sweep,
     "spillplan": experiments.spill_planning_sweep,
+    "spillcodec": experiments.compressed_spill_sweep,
 }
 
 
@@ -96,6 +101,17 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=sorted(policy_names()),
                        help=f"victim-selection policy for spilling — "
                             f"{policy_help()}")
+    p_sim.add_argument("--spill-codec", default="none",
+                       choices=sorted(SPILL_CODECS),
+                       help="compress spill files with this codec: tier "
+                            "capacity is charged compressed bytes, "
+                            "demotions pay an encode stage, read-backs "
+                            "a decode stage (default: none; per-tier "
+                            "override via --tier NAME:GB:CODEC)")
+    p_sim.add_argument("--prefetch", action="store_true",
+                       help="promote-ahead prefetching: promote spilled "
+                            "parents of soon-to-run consumers back to "
+                            "RAM during idle device time")
     p_sim.add_argument("--no-promote", action="store_true",
                        help="leave spilled tables in their tier instead "
                             "of promoting them back to RAM after a read")
@@ -127,7 +143,9 @@ def _build_parser() -> argparse.ArgumentParser:
                               "the memory-bounded scheduler; 'spill' "
                               "sweeps RAM below a plan's peak with the "
                               "tiered store armed; 'spillplan' compares "
-                              "tier-blind vs tier-aware planning")
+                              "tier-blind vs tier-aware planning; "
+                              "'spillcodec' sweeps spill codec x "
+                              "prefetch below the peak")
 
     p_db = sub.add_parser(
         "minidb", help="refresh a demo SQL workload on the real MiniDB")
@@ -144,6 +162,11 @@ def _build_parser() -> argparse.ArgumentParser:
                       choices=sorted(policy_names()),
                       help=f"victim-selection policy for spilling — "
                            f"{policy_help()}")
+    p_db.add_argument("--spill-codec", default="none",
+                      choices=sorted(SPILL_CODECS),
+                      help="compress the spill dumps for real (numpy "
+                           "deflate) and charge the spill tier the "
+                           "measured on-disk bytes (default: none)")
     p_db.add_argument("--plan-memory", type=float,
                       help="optimize the plan for this budget instead of "
                            "--memory (a bigger machine's plan, executed "
@@ -221,7 +244,9 @@ def _spill_setup(args) -> tuple[float, SpillConfig | None]:
         return memory, None
     return memory, SpillConfig(tiers=lower, policy=args.spill_policy,
                                promote=not args.no_promote,
-                               arbitrate=not args.no_arbitration)
+                               arbitrate=not args.no_arbitration,
+                               codec=args.spill_codec,
+                               prefetch=args.prefetch)
 
 
 def _print_spill_stats(trace) -> None:
@@ -231,6 +256,11 @@ def _print_spill_stats(trace) -> None:
     print(f"spills:            {report['spill_count']} "
           f"({report['spill_bytes_gb']:.3f} GB) "
           f"[policy {report['policy']}]")
+    codec = report.get("codec", "none")
+    if codec != "none":
+        print(f"spill codec:       {codec} "
+              f"({report['spill_stored_gb']:.3f} GB stored of "
+              f"{report['spill_bytes_gb']:.3f} GB logical)")
     print(f"promotes:          {report['promote_count']} "
           f"({report['promote_bytes_gb']:.3f} GB)")
     print(f"spill/promote t:   {trace.spill_time:.3f} s")
@@ -240,11 +270,19 @@ def _print_spill_stats(trace) -> None:
               f"{arbitration['spill_wins']} spills chosen "
               f"(avoided {arbitration['avoided_spill_seconds']:.3f} s "
               f"of spill)")
+    prefetch = report.get("prefetch", {})
+    if prefetch.get("enabled"):
+        print(f"prefetch:          {prefetch['count']} promoted ahead "
+              f"({prefetch['bytes_gb']:.3f} GB, "
+              f"{prefetch['hidden_seconds']:.3f} s hidden in idle time, "
+              f"{prefetch['misses']} misses)")
     for tier in report["tiers"]:
         budget = ("unbounded" if tier["budget"] == float("inf")
                   else f"{tier['budget']:.3f}")
+        codec_note = (f" [{tier['codec']} x{tier['codec_ratio']:g}]"
+                      if tier.get("codec", "none") != "none" else "")
         print(f"  tier {tier['name']:<10s} peak {tier['peak']:9.3f} "
-              f"/ {budget}")
+              f"/ {budget}{codec_note}")
 
 
 def _cmd_simulate(args) -> int:
@@ -358,7 +396,8 @@ def _run_minidb(args, data_dir: str):
     workload = _demo_workload(data_dir, rows=args.rows, seed=args.seed)
     profiled = workload.profile()
     controller = Controller(spill_dir=args.spill_dir,
-                            spill=SpillConfig(policy=args.spill_policy))
+                            spill=SpillConfig(policy=args.spill_policy,
+                                              codec=args.spill_codec))
     plan_memory = (args.memory if args.plan_memory is None
                    else args.plan_memory)
     plan = controller.plan_for_minidb(profiled, plan_memory,

@@ -38,20 +38,29 @@ class TierCapacity:
     Attributes:
         name: tier label (matches the runtime's
             :class:`~repro.store.config.TierSpec` name).
-        capacity: admissible GB in this tier (``math.inf`` for an
-            unbounded last tier; clamped by the caller before use).
+        capacity: admissible *logical* GB in this tier — the raw device
+            budget scaled by the codec ratio, since a compressing tier
+            hosts ``ratio`` logical bytes per stored byte (``math.inf``
+            for an unbounded last tier; clamped by the caller before
+            use).
         discount: worth of one byte here relative to a byte of RAM, in
             ``[0, 1]`` — ``0`` means parking data in this tier costs as
             much as not flagging it at all, ``1`` means it is as good as
             RAM.
         penalty_seconds_per_gb: modeled spill-write + promote-read
-            round-trip cost per GB that produced the discount.
+            round-trip cost per logical GB that produced the discount —
+            compressed device transfer plus the codec's encode + decode
+            stages.
+        codec_ratio: the spill codec's compression ratio priced into
+            ``capacity`` and ``penalty_seconds_per_gb`` (1.0 = no
+            codec).
     """
 
     name: str
     capacity: float
     discount: float
     penalty_seconds_per_gb: float
+    codec_ratio: float = 1.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.discount <= 1.0:
@@ -108,7 +117,12 @@ class TierAwareBudget:
 
         Returns:
             A budget whose per-tier discounts reflect each tier's
-            spill-write + promote-read cost per byte.
+            spill-write + promote-read cost per byte.  With a spill
+            codec armed, each tier's effective capacity scales by the
+            codec ratio (compressed bytes occupy the device, logical
+            bytes fill the plan) and its penalty gains the encode +
+            decode seconds per logical GB — so tier-aware plans flag
+            more exactly when compression makes spilling favorable.
         """
         from repro.metadata.costmodel import DeviceProfile
 
@@ -119,13 +133,18 @@ class TierAwareBudget:
         tiers = []
         for spec in spill.tiers:
             device = spec.resolved_profile()
-            penalty = (1.0 / device.effective_write_bandwidth
-                       + 1.0 / device.effective_read_bandwidth)
+            codec = spec.resolved_codec(spill.codec)
+            penalty = ((1.0 / device.effective_write_bandwidth
+                        + 1.0 / device.effective_read_bandwidth)
+                       / codec.ratio
+                       + codec.encode_seconds_per_gb
+                       + codec.decode_seconds_per_gb)
             discount = (max(0.0, 1.0 - penalty / ram_gain)
                         if ram_gain > 0 else 0.0)
             tiers.append(TierCapacity(
-                name=spec.name, capacity=spec.budget, discount=discount,
-                penalty_seconds_per_gb=penalty))
+                name=spec.name, capacity=spec.budget * codec.ratio,
+                discount=discount, penalty_seconds_per_gb=penalty,
+                codec_ratio=codec.ratio))
         return cls(ram=ram, tiers=tuple(tiers))
 
     # ------------------------------------------------------------------

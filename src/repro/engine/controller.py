@@ -186,12 +186,16 @@ class Controller:
         """Tier-aware budget matching the MiniDB backend's spill tier.
 
         The MiniDB executor spills into one unbounded ``"spill-disk"``
-        tier under ``spill_dir``; this prices exactly that hierarchy so
-        a tier-aware plan anticipates the real run's storage layout.
+        tier under ``spill_dir``; this prices exactly that hierarchy —
+        including the controller's spill codec, so compressed dumps
+        raise the tier's effective capacity and add their encode/decode
+        cost — so a tier-aware plan anticipates the real run's storage
+        layout.
         """
         spill = SpillConfig(
             tiers=(TierSpec("spill-disk"),),
-            policy=self.spill.policy if self.spill else "cost")
+            policy=self.spill.policy if self.spill else "cost",
+            codec=self.spill.codec if self.spill else "none")
         return TierAwareBudget.from_spill(memory_budget, spill,
                                           profile=self.profile)
 
@@ -258,6 +262,9 @@ class Controller:
             extra["spill_dir"] = self.spill_dir
             extra["spill_policy"] = (self.spill.policy if self.spill
                                      else "cost")
+            # the resolved CodecProfile, so custom codecs pass through
+            extra["spill_codec"] = (self.spill.codec if self.spill
+                                    else "none")
         executor = create_backend(  # lazy import: optional numpy dep
             "minidb", profile=self.profile, options=self.options,
             seed=seed, workload=workload, **extra)

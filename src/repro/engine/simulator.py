@@ -59,10 +59,13 @@ class SimulatorOptions:
         spill: optional :class:`~repro.store.config.SpillConfig` enabling
             the tiered store — flagged outputs that do not fit in RAM
             keep their flag by demoting victims to lower tiers (charging
-            those tiers' device times), with stall-vs-spill arbitration
-            weighing each demotion against waiting for a pending drain
-            (``SpillConfig.arbitrate``).  ``None`` (default) keeps the
-            original single-tier behavior exactly.
+            those tiers' device times, plus encode/decode when a spill
+            codec is armed), with stall-vs-spill arbitration weighing
+            each demotion against waiting for a pending drain
+            (``SpillConfig.arbitrate``) and promote-ahead prefetching of
+            soon-to-run consumers' spilled parents during idle device
+            time (``SpillConfig.prefetch``).  ``None`` (default) keeps
+            the original single-tier behavior exactly.
     """
 
     on_overflow: str = "spill"
@@ -147,8 +150,16 @@ class RefreshSimulator:
         """
         catalog = state.catalog
         storage = state.storage
+        prefetch_on = (self.options.spill is not None
+                       and self.options.spill.prefetch)
         for node_id in order:
             node = graph.node(node_id)
+            if prefetch_on:
+                # promote-ahead event hook: the window between the
+                # previous node's completion and this dispatch is idle
+                # device time — promote this consumer's spilled parents
+                # so its reads run at memory bandwidth
+                self._prefetch_parents(graph, node_id, state)
             trace = NodeTrace(node_id=node_id, start=state.clock,
                               flagged=node_id in flagged)
             clock = state.clock
@@ -221,6 +232,26 @@ class RefreshSimulator:
             method=method,
             extras=extras,
         )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _prefetch_parents(graph: DependencyGraph, node_id: str,
+                          state: SimulatorState) -> None:
+        """Promote-ahead prefetch for the next node's spilled parents.
+
+        Runs at the previous node's completion clock (drains due by then
+        were already applied), so the promoted bytes' device read +
+        decode + create are hidden in the idle window — the ledger
+        accounts them in its prefetch counters, not on any node's
+        timeline (see :meth:`repro.store.tiered.TieredLedger.prefetch`).
+        """
+        prefetch = getattr(state.catalog, "prefetch", None)
+        if prefetch is None:
+            return
+        parents = [p for p in graph.parents(node_id)
+                   if p not in state.spilled]
+        if parents:
+            prefetch(parents, now=state.clock)
 
     # ------------------------------------------------------------------
     def _read_resident(self, parent: str, size: float, clock: float,

@@ -18,11 +18,19 @@ Construct with the workload: ``create_backend("minidb", workload=wl)``;
 *real* spill-to-disk through a :class:`~repro.store.tiered.TieredLedger`:
 when memory is pinned by entries with outstanding consumers, policy-ranked
 victims are serialized into the spill directory with
-:func:`repro.db.storage_format.write_table` (uncompressed — a spill is a
-fast local dump, not a warehouse materialization) and their accounting
-moves to the spill tier; a spilled, not-yet-durable parent is read back
-with ``read_table`` and promoted before its consumer runs.  The
-wall-clock costs land in ``NodeTrace.spill_write`` / ``promote_read``.
+:func:`repro.db.storage_format.write_table` and their accounting moves to
+the spill tier; a spilled, not-yet-durable parent is read back with
+``read_table`` and promoted before its consumer runs.  The wall-clock
+costs land in ``NodeTrace.spill_write`` / ``promote_read``.
+
+``spill_codec`` controls the dump format: ``"none"`` (default) writes
+raw uncompressed archives — a spill is a fast local dump, not a
+warehouse materialization — while ``"zlib"`` compresses each column for
+real (numpy's deflate), trading encode/decode wall-clock for smaller
+spill files.  Either way the ledger's spill tier is charged the
+*measured* on-disk bytes of every dump, so
+``extras["tiered_store"]["spill_stored_gb"]`` reports the genuine
+compressed footprint next to the logical ``spill_bytes_gb``.
 """
 
 from __future__ import annotations
@@ -95,7 +103,8 @@ class MiniDbBackend(ExecutionBackend):
             os.makedirs(spill_dir, exist_ok=True)
             config = SpillConfig(
                 tiers=(TierSpec("spill-disk"),),
-                policy=self.extra.get("spill_policy", "cost"))
+                policy=self.extra.get("spill_policy", "cost"),
+                codec=self.extra.get("spill_codec", "none"))
             # charge_io=False: this backend measures real wall clocks
             # around real (de)serialization instead of charging a model
             ledger: MemoryLedger = TieredLedger(memory_budget, config,
@@ -270,9 +279,12 @@ class MiniDbBackend(ExecutionBackend):
         """Evict one policy-ranked victim from RAM to the spill tier.
 
         A victim whose background write already drained is free to drop
-        (its durable copy serves later readers); otherwise the table is
-        dumped uncompressed into the spill directory first.  Returns
-        False when RAM holds no spillable entry outside ``protect``.
+        (its durable copy serves later readers; the spill tier is
+        charged zero bytes); otherwise the table is dumped into the
+        spill directory first — compressed for real when the spill
+        codec asks for it — and the tier is charged the *measured*
+        on-disk bytes of the dump.  Returns False when RAM holds no
+        spillable entry outside ``protect``.
         """
         from repro.db import storage_format
 
@@ -281,16 +293,21 @@ class MiniDbBackend(ExecutionBackend):
         victim = ctx.ledger.pick_victim(exclude=protect)
         if victim is None:
             return False
+        compress = ctx.ledger.config.codec.name != "none"
         started = time.perf_counter()
-        if not db.catalog.persisted(victim) \
-                and victim not in state.spill_files:
+        if db.catalog.persisted(victim):
+            stored_gb = 0.0  # the durable warehouse copy serves readers
+        elif victim in state.spill_files:
             # tables are immutable: an earlier spill copy stays valid
+            stored_gb = storage_format.on_disk_size(
+                state.spill_dir, victim) / _GB
+        else:
             table = db.catalog.get_memory(victim)
-            storage_format.write_table(table, state.spill_dir, victim,
-                                       compress=False)
+            stored_gb = storage_format.write_table(
+                table, state.spill_dir, victim, compress=compress) / _GB
             state.spill_files.add(victim)
         db.release_memory(victim)
-        ctx.ledger.demote(victim)
+        ctx.ledger.demote(victim, stored_size=stored_gb)
         trace.spill_write += time.perf_counter() - started
         return True
 

@@ -44,6 +44,13 @@ trade is made at dispatch time (:meth:`ParallelSimulatorBackend.
 _prefers_stall`) — a blocked flagged node demotes victims only when the
 modeled demote+promote round trip is cheaper than waiting for the next
 completion or drain.
+
+With ``SpillConfig.prefetch`` on, each dispatch round opens with a
+promote-ahead pass: spilled parents of ready (soon-to-run) nodes are
+promoted back into RAM during the idle device window before dispatch
+(serial mode prefetches only the next plan-order node's parents, at the
+same clock as the serial simulator's hook, so ``workers=1`` stays
+bit-equal with prefetching on).
 """
 
 from __future__ import annotations
@@ -118,7 +125,12 @@ class ParallelSimulatorBackend(ExecutionBackend):
         tie_break: ``"plan"`` (default) prioritizes ready nodes by plan
             position; ``"random"`` assigns each node a seeded random
             priority instead — a different but still fully reproducible
-            schedule for a given ``seed``.
+            schedule for a given ``seed``.  Serial mode is invariant:
+            with ``workers=1`` the scheduler *always* follows the plan
+            order (that is what makes it bit-equal to the serial
+            simulator), so requesting a random tie-break there is a
+            contradiction and raises :class:`ValidationError` instead
+            of silently degrading to plan order.
     """
 
     name = "parallel"
@@ -134,11 +146,17 @@ class ParallelSimulatorBackend(ExecutionBackend):
         tie_break = self.extra.get("tie_break", "plan")
         if tie_break not in ("plan", "random"):
             raise ValidationError("tie_break must be 'plan' or 'random'")
+        if tie_break == "random" and self.workers == 1:
+            raise ValidationError(
+                "tie_break='random' cannot apply with workers=1: serial "
+                "mode always dispatches in plan order (the invariant "
+                "that keeps it bit-equal to the serial simulator); use "
+                "workers > 1 or tie_break='plan'")
         rng = random.Random(self.seed)
         position = plan.positions()
-        if tie_break == "random" and self.workers > 1:
+        if tie_break == "random":
             priority = {v: (rng.random(), position[v]) for v in plan.order}
-        else:  # workers == 1 always follows the plan order (serial mode)
+        else:
             priority = {v: (position[v],) for v in plan.order}
         state = _SchedulerState(
             storage=StorageDevice(profile=self.profile or DeviceProfile()),
@@ -275,11 +293,29 @@ class ParallelSimulatorBackend(ExecutionBackend):
         state: _SchedulerState = ctx.payload
         options = self.options or SimulatorOptions()
         tiered = options.spill is not None
+        prefetch_on = tiered and options.spill.prefetch
+        if prefetch_on and self.workers > 1 and state.ready:
+            # promote-ahead dispatch hook: the window before this round's
+            # dispatches is idle device time — promote the spilled
+            # parents of the nodes that can actually dispatch now (one
+            # per idle worker, hottest first).  Ready nodes further down
+            # the priority order are *not* soon-to-run: prefetching
+            # their parents would park bytes in RAM for many rounds,
+            # where this round's admissions would demote them right
+            # back (billed), a thrash loop prefetching exists to avoid.
+            soon = sorted(state.ready, key=state.priority.__getitem__)
+            for node_id in soon[:max(len(state.idle_workers), 1)]:
+                self._prefetch_for(ctx, node_id)
         while state.idle_workers and state.ready:
             candidates = sorted(state.ready, key=state.priority.__getitem__)
             if self.workers == 1:
                 # serial-equivalent mode: always run the next plan-order
-                # node; admission happens at its output, as in §III-C
+                # node; admission happens at its output, as in §III-C —
+                # with prefetching on, its spilled parents are promoted
+                # in the idle window first, exactly as the serial
+                # simulator does at the same clock
+                if prefetch_on:
+                    self._prefetch_for(ctx, candidates[0])
                 self.execute_node(ctx, candidates[0])
                 continue
             chosen = None
@@ -340,6 +376,24 @@ class ParallelSimulatorBackend(ExecutionBackend):
                 state.arb_pending.pop(candidates[0], None)
                 continue
             self.execute_node(ctx, chosen)
+
+    def _prefetch_for(self, ctx: ExecutionContext, node_id: str) -> None:
+        """Promote-ahead prefetch of one ready node's spilled parents.
+
+        Delegates to :meth:`repro.store.tiered.TieredLedger.prefetch`:
+        parents are promoted only when they fit in RAM (never demoting
+        to make room) and their read + decode + create seconds are
+        hidden in the idle window's prefetch counters, not billed to
+        any node's timeline.
+        """
+        prefetch = getattr(ctx.ledger, "prefetch", None)
+        if prefetch is None:
+            return
+        state: _SchedulerState = ctx.payload
+        parents = [p for p in ctx.graph.parents(node_id)
+                   if p not in state.spilled]
+        if parents:
+            prefetch(parents, now=state.now)
 
     def _prefers_stall(self, ctx: ExecutionContext, node_id: str,
                        size: float) -> bool:

@@ -59,18 +59,38 @@ How backends opt in
 * Backends that do nothing keep a plain ``MemoryLedger`` — with spill
   disabled every trace is bit-identical to the pre-tiered behavior.
 
+Compressed spill files
+======================
+
+A :class:`~repro.store.config.CodecProfile` (``SpillConfig(codec=...)``,
+per-tier overrides via ``TierSpec.codec``) arms the compressed spill
+pipeline: tier capacity is charged *stored* (compressed) bytes while RAM
+keeps charging logical bytes, demotions pay an encode stage, read-backs
+pay a decode stage, and ``SpillConfig(prefetch=True)`` adds promote-ahead
+prefetching — spilled parents of soon-to-run consumers are promoted
+during idle device time so their consumers read at memory bandwidth.
+``codec="none"`` with prefetch off stays bit-identical to the
+uncompressed pipeline.
+
 Run-level observability lives in ``RunTrace.extras["tiered_store"]``
-(per-tier usage/peak plus spill/promote counts and bytes), surfaced by
-the Controller, the CLI (``--tier``, ``--spill-policy``,
-``--spill-dir``), and ``benchmarks/bench_spill_tiers.py``.
+(per-tier usage/peak plus spill/promote counts and bytes, codec names,
+stored-vs-logical volumes, and prefetch outcomes), surfaced by the
+Controller, the CLI (``--tier``, ``--spill-policy``, ``--spill-dir``,
+``--spill-codec``, ``--prefetch``), ``benchmarks/bench_spill_tiers.py``,
+and ``benchmarks/bench_compressed_spill.py``.
 """
 
 from repro.store.config import (
     LOCAL_DISK_PROFILE,
+    NONE_CODEC,
+    SPILL_CODECS,
     SSD_PROFILE,
+    ZLIB_CODEC,
+    CodecProfile,
     SpillConfig,
     TierSpec,
     parse_tier,
+    resolve_codec,
 )
 from repro.store.policy import (
     SpillPolicy,
@@ -82,7 +102,10 @@ from repro.store.policy import (
 from repro.store.tiered import SpillCharge, StorageTier, TieredLedger
 
 __all__ = [
+    "CodecProfile",
     "LOCAL_DISK_PROFILE",
+    "NONE_CODEC",
+    "SPILL_CODECS",
     "SSD_PROFILE",
     "SpillCharge",
     "SpillConfig",
@@ -91,8 +114,10 @@ __all__ = [
     "TierSpec",
     "TieredLedger",
     "VictimInfo",
+    "ZLIB_CODEC",
     "create_policy",
     "parse_tier",
     "policy_names",
     "register_policy",
+    "resolve_codec",
 ]

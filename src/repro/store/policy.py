@@ -23,6 +23,7 @@ Built-in policies:
 from __future__ import annotations
 
 import abc
+import math
 from dataclasses import dataclass
 from typing import ClassVar
 
@@ -123,7 +124,10 @@ class CostAwarePolicy(SpillPolicy):
 
     def key(self, victim: VictimInfo) -> tuple:
         if victim.size <= 0:
-            return (0.0,)
+            # demoting a zero-size entry frees nothing: rank it last so
+            # _make_room never burns migrations on it before reaching
+            # victims that actually free bytes
+            return (math.inf,)
         return (victim.consumers_left * victim.reload_cost / victim.size,)
 
 

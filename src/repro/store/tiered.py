@@ -14,23 +14,39 @@ release protocol (``consumer_done`` / ``materialized`` /
 Demotions cascade: spilling into a full middle tier first spills that
 tier's own victims further down, so a hierarchy like RAM → small SSD →
 unbounded disk behaves like a proper inclusive cache hierarchy.
+
+Spill files may be *compressed* (``SpillConfig.codec`` / per-tier
+``TierSpec.codec``): every entry then has a **logical** size (decoded
+bytes, what RAM and consumers see) and an **on-tier** stored size
+(``logical / ratio``, what the tier's capacity is charged).  Demotions
+pay an encode stage per logical GB, read-backs pay a decode stage, and
+the arbitration estimate prices both so stall-vs-spill decisions see
+the true codec cost.  With ``codec="none"`` every stored size equals its
+logical size and every codec term is exactly zero, keeping traces
+bit-identical to the uncompressed pipeline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.engine.storage import StorageDevice
 from repro.errors import BudgetExceededError, CatalogError, ExecutionError
 from repro.exec.ledger import MemoryLedger
 from repro.metadata.costmodel import DeviceProfile
-from repro.store.config import SpillConfig, TierSpec
+from repro.store.config import NONE_CODEC, CodecProfile, SpillConfig, TierSpec
 from repro.store.policy import VictimInfo, create_policy
 
 
 @dataclass(frozen=True)
 class SpillCharge:
-    """Simulated time cost of one entry migration between tiers."""
+    """Simulated time cost of one entry migration between tiers.
+
+    ``size`` is the entry's *logical* (decoded) GB; with a codec armed
+    the bytes actually moved on the destination device are
+    ``size / ratio``, already priced into ``seconds``.
+    """
 
     node_id: str
     src: str
@@ -222,10 +238,15 @@ class TieredLedger(MemoryLedger):
     * :meth:`try_make_room` — free RAM ahead of a reservation;
     * :meth:`promote` — bring a spilled entry back up after a read;
     * :meth:`tier_read_seconds` / :meth:`note_read` — charge and record
-      reads of resident entries wherever they live;
+      reads of resident entries wherever they live (decode-aware when
+      the holding tier compresses);
+    * :meth:`prefetch` — the promote-ahead pass: spilled parents of
+      soon-to-run consumers are promoted during idle device time
+      (``SpillConfig.prefetch``), their I/O hidden in the idle window;
     * :meth:`estimate_spill_seconds` / :meth:`record_arbitration` — the
       cost model and outcome counters behind stall-vs-spill arbitration
-      (see :func:`arbitrate_admission`);
+      (see :func:`arbitrate_admission`), pricing encode + compressed
+      transfer on the demote leg and decode on the reload leg;
     * :meth:`pick_victim` / :meth:`demote` — the two-step protocol for
       executors doing *real* I/O, which move bytes themselves and then
       record the accounting move (``charge_io=False`` keeps every
@@ -245,18 +266,35 @@ class TieredLedger(MemoryLedger):
         self.charge_io = charge_io
         self.tiers: list[StorageTier] = [
             StorageTier(TierSpec("ram", budget), ledger=self)]
+        # RAM keeps tables decoded; each lower tier resolves its codec
+        # (per-tier override, else the config default)
+        self._codecs: list[CodecProfile] = [NONE_CODEC]
         for spec in self.config.tiers:
             device = (StorageDevice(profile=spec.resolved_profile())
                       if charge_io else None)
             self.tiers.append(
                 StorageTier(spec, MemoryLedger(budget=spec.budget), device))
+            self._codecs.append(spec.resolved_codec(self.config.codec))
         self._lower_location: dict[str, int] = {}
+        # logical (decoded) GB of entries in lower tiers; their tier
+        # ledgers are charged the stored (compressed) size instead
+        self._logical: dict[str, float] = {}
         self._recency: dict[str, int] = {}
         self._tick = 0
         self.spill_count = 0
         self.promote_count = 0
         self.spill_bytes = 0.0
         self.promote_bytes = 0.0
+        self.spill_stored_bytes = 0.0
+        # promote-ahead prefetching outcomes (see prefetch)
+        self.prefetch_count = 0
+        self.prefetch_bytes = 0.0
+        self.prefetch_hidden_seconds = 0.0
+        self.prefetch_misses = 0
+        # entries already counted as a miss, so the retried passes the
+        # backends run before every node don't re-count one stuck
+        # parent; cleared when the entry moves or leaves
+        self._prefetch_missed: set[str] = set()
         # stall-vs-spill arbitration outcomes (see arbitrate_admission)
         self.stall_wins = 0
         self.spill_wins = 0
@@ -284,6 +322,20 @@ class TieredLedger(MemoryLedger):
             return list(self._entries) + list(self._lower_location)
 
     def size_of(self, node_id: str) -> float:
+        """Logical (decoded) GB of a resident entry, wherever it lives.
+
+        Consumers and RAM admission always deal in logical bytes; the
+        stored (possibly compressed) on-tier size is
+        :meth:`stored_size_of`.
+        """
+        with self._lock:
+            idx, tier = self._holding(node_id)
+            if idx == 0:
+                return super().size_of(node_id)
+            return self._logical.get(node_id, tier.ledger.size_of(node_id))
+
+    def stored_size_of(self, node_id: str) -> float:
+        """On-tier GB the entry occupies (compressed below RAM)."""
         with self._lock:
             idx, tier = self._holding(node_id)
             if idx == 0:
@@ -338,7 +390,35 @@ class TieredLedger(MemoryLedger):
 
     def _forget(self, node_id: str) -> None:
         self._lower_location.pop(node_id, None)
+        self._logical.pop(node_id, None)
         self._recency.pop(node_id, None)
+        self._prefetch_missed.discard(node_id)
+
+    # ------------------------------------------------------------------
+    # codec accounting
+    # ------------------------------------------------------------------
+    def _codec(self, index: int) -> CodecProfile:
+        """The codec governing tier ``index`` (RAM never encodes)."""
+        return self._codecs[index]
+
+    def _logical_size(self, index: int, node_id: str) -> float:
+        """Logical GB of an entry resident in tier ``index``."""
+        if index == 0:
+            return self.tiers[0].ledger.size_of(node_id)
+        return self._logical.get(
+            node_id, self.tiers[index].ledger.size_of(node_id))
+
+    def _encode_seconds(self, index: int, logical: float) -> float:
+        """CPU seconds to compress ``logical`` GB into tier ``index``."""
+        if not self.charge_io:
+            return 0.0
+        return self._codec(index).encode_seconds_per_gb * logical
+
+    def _decode_seconds(self, index: int, logical: float) -> float:
+        """CPU seconds to decompress ``logical`` GB out of tier ``index``."""
+        if not self.charge_io:
+            return 0.0
+        return self._codec(index).decode_seconds_per_gb * logical
 
     # ------------------------------------------------------------------
     # recency (for the LRU policy; logical, not wall-clock)
@@ -368,20 +448,30 @@ class TieredLedger(MemoryLedger):
         return [n for n, i in self._lower_location.items() if i == index]
 
     def _victims(self, index: int) -> list[VictimInfo]:
-        """Policy-ranked demotion candidates resident in tier ``index``."""
+        """Policy-ranked demotion candidates resident in tier ``index``.
+
+        ``size`` is the victim's footprint *in this tier* (what a
+        demotion frees here); ``reload_cost`` is decode-aware — the
+        device read of the compressed bytes in the destination tier plus
+        the decode of the logical bytes.
+        """
         if index + 1 >= len(self.tiers):
             return []  # nothing below to demote into
         ledger = self.tiers[index].ledger
         dst_profile = self.tiers[index + 1].spec.resolved_profile()
+        dst_codec = self._codec(index + 1)
         infos = []
         for node_id in self._tier_entries(index):
             size = ledger.size_of(node_id)
+            logical = self._logical_size(index, node_id)
+            stored_dst = logical / dst_codec.ratio
             infos.append(VictimInfo(
                 node_id=node_id,
                 size=size,
                 consumers_left=ledger.consumers_left(node_id),
                 last_access=self._recency.get(node_id, 0),
-                reload_cost=dst_profile.read_time_disk(size)))
+                reload_cost=(dst_profile.read_time_disk(stored_dst)
+                             + dst_codec.decode_seconds_per_gb * logical)))
         return self.policy.order(infos)
 
     def _make_room(self, index: int, size: float,
@@ -410,33 +500,61 @@ class TieredLedger(MemoryLedger):
             charges.extend(demoted)
         return True, charges
 
-    def _demote_locked(self, node_id: str,
-                       now: float) -> list[SpillCharge] | None:
-        """Move one entry a tier down, cascading; None when impossible."""
+    def _demote_locked(self, node_id: str, now: float,
+                       stored_override: float | None = None,
+                       ) -> list[SpillCharge] | None:
+        """Move one entry a tier down, cascading; None when impossible.
+
+        The destination is charged the entry's *stored* size — logical
+        bytes shrunk by the destination codec's ratio, or
+        ``stored_override`` when a real-I/O executor measured the
+        actual on-disk bytes.  The charge prices the source read (plus
+        decode when the source tier is compressed), the encode into the
+        destination codec, and the device write of the compressed bytes.
+        """
         idx, src = self._holding(node_id)
         if idx + 1 >= len(self.tiers):
             return None
         dst = self.tiers[idx + 1]
-        size = src.ledger.size_of(node_id)
-        ok, charges = self._make_room(idx + 1, size, now)
+        stored_src = src.ledger.size_of(node_id)
+        logical = self._logical_size(idx, node_id)
+        stored_dst = (stored_override if stored_override is not None
+                      else logical / self._codec(idx + 1).ratio)
+        ok, charges = self._make_room(idx + 1, stored_dst, now)
         if not ok:
             return None
-        entry_size, consumers, pending = src.ledger.detach(node_id)
-        dst.ledger.adopt(node_id, entry_size, consumers, pending)
+        _, consumers, pending = src.ledger.detach(node_id)
+        dst.ledger.adopt(node_id, stored_dst, consumers, pending)
         self._lower_location[node_id] = idx + 1
+        self._logical[node_id] = logical
+        self._prefetch_missed.discard(node_id)  # new residency episode
         self.spill_count += 1
-        self.spill_bytes += size
+        self.spill_bytes += logical
+        self.spill_stored_bytes += stored_dst
+        seconds = (src.read_seconds(stored_src, now)
+                   + dst.write_seconds(stored_dst, now)
+                   + self._encode_seconds(idx + 1, logical))
+        if idx > 0:
+            seconds += self._decode_seconds(idx, logical)
         charges.append(SpillCharge(
-            node_id=node_id, src=src.name, dst=dst.name, size=size,
-            seconds=(src.read_seconds(size, now)
-                     + dst.write_seconds(size, now))))
+            node_id=node_id, src=src.name, dst=dst.name, size=logical,
+            seconds=seconds))
         return charges
 
-    def demote(self, node_id: str,
-               now: float = 0.0) -> list[SpillCharge]:
-        """Spill one entry a tier down (public; raises when impossible)."""
+    def demote(self, node_id: str, now: float = 0.0,
+               stored_size: float | None = None) -> list[SpillCharge]:
+        """Spill one entry a tier down (public; raises when impossible).
+
+        Args:
+            node_id: the entry to demote.
+            now: current timeline position (simulated runs).
+            stored_size: measured on-tier GB for executors doing *real*
+                I/O — the destination tier's capacity is charged this
+                many bytes instead of the codec-ratio estimate.
+        """
         with self._lock:
-            charges = self._demote_locked(node_id, now)
+            charges = self._demote_locked(node_id, now,
+                                          stored_override=stored_size)
             if charges is None:
                 idx, src = self._holding(node_id)
                 raise BudgetExceededError(
@@ -486,19 +604,23 @@ class TieredLedger(MemoryLedger):
                 return 0, charges
             for idx in range(1, len(self.tiers)):
                 tier = self.tiers[idx]
-                fits, more = self._make_room(idx, size, now)
+                stored = size / self._codec(idx).ratio
+                fits, more = self._make_room(idx, stored, now)
                 charges.extend(more)
                 if not fits:
                     continue
-                tier.ledger.adopt(node_id, size, n_consumers,
+                tier.ledger.adopt(node_id, stored, n_consumers,
                                   materialization_pending)
                 self._lower_location[node_id] = idx
+                self._logical[node_id] = size
                 self._touch(node_id)
                 self.spill_count += 1
                 self.spill_bytes += size
+                self.spill_stored_bytes += stored
                 charges.append(SpillCharge(
                     node_id=node_id, src="new", dst=tier.name, size=size,
-                    seconds=tier.write_seconds(size, now)))
+                    seconds=(tier.write_seconds(stored, now)
+                             + self._encode_seconds(idx, size))))
                 return idx, charges
             error = BudgetExceededError(
                 f"no storage tier can host {node_id!r} ({size:.6g} GB)",
@@ -506,39 +628,104 @@ class TieredLedger(MemoryLedger):
             error.charges = charges
             raise error
 
+    def _promote_locked(self, node_id: str,
+                        now: float) -> SpillCharge | None:
+        """Move a spilled entry into RAM (no counters); None = no move.
+
+        RAM is charged the entry's *logical* size — tables live decoded
+        in the Memory Catalog whatever codec the tier used.
+        """
+        idx, src = self._holding(node_id)
+        if idx == 0:
+            return None
+        logical = self._logical_size(idx, node_id)
+        if not self.fits(logical):
+            return None
+        _, consumers, pending = src.ledger.detach(node_id)
+        del self._lower_location[node_id]
+        self._logical.pop(node_id, None)
+        self._prefetch_missed.discard(node_id)
+        self.adopt(node_id, logical, consumers, pending)
+        seconds = (self.profile.create_time_memory(logical)
+                   if self.charge_io else 0.0)
+        return SpillCharge(node_id=node_id, src=src.name, dst="ram",
+                           size=logical, seconds=seconds)
+
     def promote(self, node_id: str,
                 now: float = 0.0) -> SpillCharge | None:
         """Move a spilled entry back into RAM when it fits (no eviction).
 
-        The device read is charged by the caller at read time; the
-        promotion itself costs one in-memory create.  Returns the charge,
-        or None when the entry is already in RAM or does not fit.
+        The device read (and decode) is charged by the caller at read
+        time; the promotion itself costs one in-memory create of the
+        logical bytes.  Returns the charge, or None when the entry is
+        already in RAM or does not fit.
         """
         with self._lock:
-            idx, src = self._holding(node_id)
-            if idx == 0:
-                return None
-            size = src.ledger.size_of(node_id)
-            if not self.fits(size):
-                return None
-            entry_size, consumers, pending = src.ledger.detach(node_id)
-            del self._lower_location[node_id]
-            self.adopt(node_id, entry_size, consumers, pending)
-            self.promote_count += 1
-            self.promote_bytes += size
-            seconds = (self.profile.create_time_memory(size)
-                       if self.charge_io else 0.0)
-            return SpillCharge(node_id=node_id, src=src.name, dst="ram",
-                               size=size, seconds=seconds)
+            charge = self._promote_locked(node_id, now)
+            if charge is not None:
+                self.promote_count += 1
+                self.promote_bytes += charge.size
+            return charge
+
+    def prefetch(self, parents: Iterable[str],
+                 now: float = 0.0) -> float:
+        """Promote-ahead pass: bring spilled ``parents`` back into RAM.
+
+        Called by backends during *idle device time* — after a node
+        completes and before its successor dispatches — for the parents
+        of soon-to-run consumers (``SpillConfig.prefetch``).  Each
+        spilled parent that fits in RAM is promoted (no evictions: a
+        prefetch never demotes resident entries to make room), so the
+        consumer reads it at memory bandwidth instead of paying the
+        tier's device + decode path.
+
+        The device read, decode, and in-memory create of a prefetched
+        parent are modeled as overlapped with the idle window — they are
+        *not* billed to any node's timeline — but their modeled seconds
+        are accounted in ``prefetch_hidden_seconds`` so traces stay
+        honest about how much I/O the idle window absorbed.
+        ``prefetch_misses`` counts *distinct* parents that failed to
+        fit (per residency episode), not retries — the backends re-run
+        this pass before every node, and one stuck parent should not
+        read as a miss storm.
+
+        Returns:
+            The hidden (overlapped) seconds of this pass.
+        """
+        hidden = 0.0
+        with self._lock:
+            for parent in parents:
+                idx = self.tier_of(parent)
+                if idx is None or idx == 0:
+                    continue
+                logical = self._logical_size(idx, parent)
+                if not self.fits(logical):
+                    if parent not in self._prefetch_missed:
+                        self.prefetch_misses += 1
+                        self._prefetch_missed.add(parent)
+                    continue
+                read = self.tier_read_seconds(parent, now=now)
+                charge = self._promote_locked(parent, now)
+                if charge is None:  # defensive: fits was checked above
+                    if parent not in self._prefetch_missed:
+                        self.prefetch_misses += 1
+                        self._prefetch_missed.add(parent)
+                    continue
+                self.prefetch_count += 1
+                self.prefetch_bytes += charge.size
+                hidden += read + charge.seconds
+            self.prefetch_hidden_seconds += hidden
+        return hidden
 
     def estimate_spill_seconds(self, size: float,
                                now: float = 0.0) -> float | None:
         """Modeled cost of admitting ``size`` GB into RAM by demoting.
 
         Walks the victim policy's ranking, summing for each victim that
-        would have to move: the migration write into the next tier plus
-        the expected reload penalty its remaining consumers will pay
-        (one device read — and one promote-create when promotion is on;
+        would have to move: the encode + migration write of its stored
+        (compressed) bytes into the next tier plus the expected reload
+        penalty its remaining consumers will pay (one decode-aware
+        device read — and one promote-create when promotion is on;
         without promotion every remaining consumer re-reads the tier).
         Cascade demotions further down are not modeled — this is an
         *estimate* for stall-vs-spill arbitration, not a quote.
@@ -546,23 +733,28 @@ class TieredLedger(MemoryLedger):
         Returns:
             ``0.0`` when the size already fits, ``None`` when no amount
             of demotion can make it fit (bigger than RAM's admissible
-            capacity, or not enough movable victims), the modeled
-            seconds otherwise.
+            capacity, not enough movable victims, or — defensively — a
+            hierarchy with no tier below RAM to demote into), the
+            modeled seconds otherwise.
         """
         with self._lock:
             if self.fits(size):
                 return 0.0
+            if len(self.tiers) < 2:
+                return None  # RAM-only hierarchy: no demotion possible
             if size > self.available + self.usage + 1e-12:
                 return None  # exceeds what RAM can ever admit
             deficit = size - self.available
             dst = self.tiers[1]
+            dst_ratio = self._codec(1).ratio
             freed = 0.0
             cost = 0.0
             for victim in self._victims(0):
                 if freed >= deficit - 1e-12:
                     break
                 freed += victim.size
-                cost += dst.write_seconds(victim.size, now)
+                cost += (dst.write_seconds(victim.size / dst_ratio, now)
+                         + self._encode_seconds(1, victim.size))
                 if victim.consumers_left > 0:
                     if self.config.promote:
                         cost += (victim.reload_cost
@@ -593,32 +785,56 @@ class TieredLedger(MemoryLedger):
                 self.spill_wins += 1
 
     def tier_read_seconds(self, node_id: str, now: float = 0.0) -> float:
-        """Device seconds to read a resident entry (0 for RAM; the caller
-        charges RAM reads at memory bandwidth as before)."""
+        """Device + decode seconds to read a resident entry (0 for RAM;
+        the caller charges RAM reads at memory bandwidth as before).
+
+        A compressed tier transfers the stored bytes and then decodes
+        the logical bytes — the decode-aware read path both the consumer
+        charge (:func:`charge_resident_read`) and the prefetch pass
+        price through this one method.
+        """
         with self._lock:
             idx, tier = self._holding(node_id)
-            return tier.read_seconds(tier.ledger.size_of(node_id), now)
+            seconds = tier.read_seconds(tier.ledger.size_of(node_id), now)
+            if idx > 0:
+                seconds += self._decode_seconds(
+                    idx, self._logical_size(idx, node_id))
+            return seconds
 
     # ------------------------------------------------------------------
     def tier_report(self) -> dict:
-        """Per-tier usage and spill/promote counters for RunTrace.extras."""
+        """Per-tier usage and spill/promote/prefetch counters for
+        ``RunTrace.extras["tiered_store"]``.
+
+        ``usage``/``peak`` are *stored* (on-tier, possibly compressed)
+        GB — the unit each tier's capacity is charged in; ``logical``
+        is the decoded GB currently resident there.
+        """
         with self._lock:
             tiers = []
             for index, tier in enumerate(self.tiers):
                 ledger = tier.ledger
+                entries = self._tier_entries(index)
+                codec = self._codec(index)
                 tiers.append({
                     "name": tier.name,
                     "budget": ledger.budget,
                     "usage": ledger.usage,
                     "peak": ledger.peak_usage,
-                    "resident": len(self._tier_entries(index)),
+                    "resident": len(entries),
+                    "codec": codec.name,
+                    "codec_ratio": codec.ratio,
+                    "logical": sum(self._logical_size(index, node_id)
+                                   for node_id in entries),
                 })
             return {
                 "policy": self.policy.name,
                 "promote": self.config.promote,
+                "codec": self.config.codec.name,
                 "spill_count": self.spill_count,
                 "promote_count": self.promote_count,
                 "spill_bytes_gb": self.spill_bytes,
+                "spill_stored_gb": self.spill_stored_bytes,
                 "promote_bytes_gb": self.promote_bytes,
                 "arbitration": {
                     "enabled": self.config.arbitrate,
@@ -626,6 +842,13 @@ class TieredLedger(MemoryLedger):
                     "spill_wins": self.spill_wins,
                     "stall_seconds": self.stall_seconds,
                     "avoided_spill_seconds": self.avoided_spill_seconds,
+                },
+                "prefetch": {
+                    "enabled": self.config.prefetch,
+                    "count": self.prefetch_count,
+                    "bytes_gb": self.prefetch_bytes,
+                    "hidden_seconds": self.prefetch_hidden_seconds,
+                    "misses": self.prefetch_misses,
                 },
                 "tiers": tiers,
             }

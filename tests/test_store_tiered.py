@@ -111,6 +111,17 @@ class TestPolicies:
             [_victim("b"), _victim("a"), _victim("c")])
         assert [v.node_id for v in ranked] == ["a", "b", "c"]
 
+    def test_cost_policy_ranks_zero_size_victims_last(self):
+        """Regression: a zero-size entry scored 0.0 — the *best*
+        victim — although demoting it frees no bytes; it must rank
+        after every real victim."""
+        ranked = create_policy("cost").order([
+            _victim("empty", size=0.0, consumers=0, reload=0.0),
+            _victim("busy", size=2.0, consumers=3, reload=5.0),
+            _victim("cold", size=4.0, consumers=1, reload=1.0),
+        ])
+        assert [v.node_id for v in ranked] == ["cold", "busy", "empty"]
+
 
 # ----------------------------------------------------------------------
 # ledger migration primitive
@@ -212,6 +223,18 @@ class TestTieredLedger:
         ledger.spill_insert("b", 8.0, n_consumers=1)   # a spilled
         assert ledger.promote("a") is None     # 6 GB won't fit beside b
         assert ledger.tier_of("a") == 1
+
+    def test_make_room_never_migrates_zero_size_victims(self):
+        """Regression: zero-size entries used to rank as the best cost
+        victims, so _make_room demoted them (freeing nothing) before
+        reaching real victims."""
+        ledger = _ledger()
+        ledger.insert("empty", 0.0, n_consumers=1)
+        ledger.insert("cold", 6.0, n_consumers=1)
+        ok, charges = ledger.try_make_room(8.0)
+        assert ok
+        assert [c.node_id for c in charges] == ["cold"]  # no churn
+        assert ledger.tier_of("empty") == 0
 
     def test_try_make_room_respects_reservations(self):
         ledger = _ledger()

@@ -25,7 +25,8 @@ from repro.workloads.generator import (
 )
 
 
-def _tiered_run(seed=0, backend="simulator", workers=1, ram_fraction=0.3):
+def _tiered_run(seed=0, backend="simulator", workers=1, ram_fraction=0.3,
+                codec="none", prefetch=False):
     graph = WorkloadGenerator().generate(
         GeneratedWorkloadConfig(n_nodes=24, height_width_ratio=0.5),
         seed=seed)
@@ -35,7 +36,8 @@ def _tiered_run(seed=0, backend="simulator", workers=1, ram_fraction=0.3):
     peak = Controller().refresh(
         graph, budget, plan=plan, method="sc").peak_catalog_usage
     options = SimulatorOptions(spill=SpillConfig(
-        tiers=(TierSpec("ssd", 0.5 * peak), TierSpec("disk"))))
+        tiers=(TierSpec("ssd", 0.5 * peak), TierSpec("disk")),
+        codec=codec, prefetch=prefetch))
     return Controller(options=options).refresh(
         graph, ram_fraction * peak, plan=plan, method="sc",
         backend=backend, workers=workers)
@@ -79,6 +81,38 @@ class TestJsonRoundTrip:
         assert [n.admission for n in restored.nodes] == \
             [n.admission for n in trace.nodes]
 
+    def test_codec_and_prefetch_extras_roundtrip(self):
+        """The compressed-spill accounting — codec names, stored vs
+        logical volumes, per-tier ratios, prefetch outcomes — survives
+        the JSON round trip bit-identically."""
+        trace = _tiered_run(codec="zlib", prefetch=True)
+        report = trace.extras["tiered_store"]
+        assert report["codec"] == "zlib"
+        assert report["spill_count"] > 0
+        assert 0.0 < report["spill_stored_gb"] < report["spill_bytes_gb"]
+        assert report["prefetch"]["enabled"] is True
+        assert {"count", "bytes_gb", "hidden_seconds", "misses"} <= \
+            set(report["prefetch"])
+        assert all({"codec", "codec_ratio", "logical"} <= set(tier)
+                   for tier in report["tiers"])
+        restored = RunTrace.from_json(trace.to_json())
+        assert restored == trace
+        assert restored.extras["tiered_store"]["prefetch"] == \
+            report["prefetch"]
+        assert restored.extras["tiered_store"]["spill_stored_gb"] == \
+            report["spill_stored_gb"]
+
+    def test_codec_none_reports_inert_codec_extras(self):
+        """With the knobs off, the new extras exist but are inert —
+        stored equals logical and nothing was prefetched."""
+        trace = _tiered_run()
+        report = trace.extras["tiered_store"]
+        assert report["codec"] == "none"
+        assert report["spill_stored_gb"] == report["spill_bytes_gb"]
+        assert report["prefetch"] == {
+            "enabled": False, "count": 0, "bytes_gb": 0.0,
+            "hidden_seconds": 0.0, "misses": 0}
+
     def test_untiered_trace_roundtrips(self):
         graph = WorkloadGenerator().generate(
             GeneratedWorkloadConfig(n_nodes=12), seed=2)
@@ -103,4 +137,13 @@ class TestCrossBackendStability:
         parallel = _tiered_run(seed, backend="parallel", workers=1)
         assert serial.extras == parallel.extras
         # and the serialized forms agree byte for byte
+        assert serial.to_json() == parallel.to_json()
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_extras_identical_with_compression_on(self, seed):
+        serial = _tiered_run(seed, backend="simulator",
+                             codec="zlib", prefetch=True)
+        parallel = _tiered_run(seed, backend="parallel", workers=1,
+                               codec="zlib", prefetch=True)
+        assert serial.extras == parallel.extras
         assert serial.to_json() == parallel.to_json()
