@@ -9,11 +9,16 @@ Subcommands:
   disk:inf``), ``--spill-codec zlib`` compresses the spill files (with
   decode-aware costing), ``--prefetch`` promotes spilled parents ahead
   of their consumers, and ``--tier-aware-plan`` lets the optimizer
-  price flagging against those tiers.
+  price flagging against those tiers.  The feedback loop:
+  ``--adaptive-codec`` re-prices (or drops) the codec mid-run from
+  measured spill ratios, ``--save-trace out.json`` persists the run,
+  ``--feedback out.json`` plans the next run against that trace's
+  *observed* tier costs, and ``--replan`` does both passes in one
+  command (run, observe, re-plan, run again).
 * ``workload`` — emit one of the paper's five workloads as graph JSON.
 * ``bench`` — run one experiment driver (fig2..fig14, table3..table5,
   plus the repo's own ``parallel``/``spill``/``spillplan``/
-  ``spillcodec`` sweeps).
+  ``spillcodec``/``feedback`` sweeps).
 * ``minidb`` — refresh a demo SQL workload on the real MiniDB backend;
   ``--spill-dir`` arms real spill-to-disk (``--spill-codec zlib``
   compresses the dumps for real) and ``--plan-tiers`` plans tier-aware
@@ -35,7 +40,12 @@ from repro.engine.simulator import SimulatorOptions
 from repro.errors import ValidationError
 from repro.exec.base import backend_names
 from repro.graph.io import graph_from_json, graph_to_json
-from repro.store.config import SPILL_CODECS, SpillConfig, parse_tier
+from repro.store.config import (
+    SPILL_CODECS,
+    CodecAdaptConfig,
+    SpillConfig,
+    parse_tier,
+)
 from repro.store.policy import policy_help, policy_names
 from repro.workloads.five_workloads import WORKLOAD_NAMES, build_workload
 
@@ -55,6 +65,7 @@ _EXPERIMENTS = {
     "spill": experiments.spill_tier_sweep,
     "spillplan": experiments.spill_planning_sweep,
     "spillcodec": experiments.compressed_spill_sweep,
+    "feedback": experiments.feedback_loop_sweep,
 }
 
 
@@ -112,6 +123,29 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="promote-ahead prefetching: promote spilled "
                             "parents of soon-to-run consumers back to "
                             "RAM during idle device time")
+    p_sim.add_argument("--adaptive-codec", action="store_true",
+                       help="mid-run codec re-pricing: measure the "
+                            "realized compression of the first few "
+                            "spills per tier, re-price the arbitration "
+                            "cost model with the observed ratio, and "
+                            "drop a codec that stops paying for itself")
+    p_sim.add_argument("--adapt-samples", type=int, default=4,
+                       metavar="K",
+                       help="spilled tables to measure per tier before "
+                            "the adaptive-codec decision (default: 4)")
+    p_sim.add_argument("--feedback", metavar="TRACE.json",
+                       help="plan against the observed tier costs of a "
+                            "previous run's trace JSON (written with "
+                            "--save-trace) instead of the modeled "
+                            "presets; requires --tier")
+    p_sim.add_argument("--save-trace", metavar="PATH",
+                       help="write the run's RunTrace JSON here (the "
+                            "input format of --feedback)")
+    p_sim.add_argument("--replan", action="store_true",
+                       help="two-pass feedback mode: execute the plan, "
+                            "distill its observed tier costs, re-plan "
+                            "against them, execute again, and report "
+                            "both passes (requires --tier)")
     p_sim.add_argument("--no-promote", action="store_true",
                        help="leave spilled tables in their tier instead "
                             "of promoting them back to RAM after a read")
@@ -145,7 +179,9 @@ def _build_parser() -> argparse.ArgumentParser:
                               "tiered store armed; 'spillplan' compares "
                               "tier-blind vs tier-aware planning; "
                               "'spillcodec' sweeps spill codec x "
-                              "prefetch below the peak")
+                              "prefetch below the peak; 'feedback' "
+                              "measures observed-cost replanning and "
+                              "the adaptive codec")
 
     p_db = sub.add_parser(
         "minidb", help="refresh a demo SQL workload on the real MiniDB")
@@ -167,6 +203,11 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="compress the spill dumps for real (numpy "
                            "deflate) and charge the spill tier the "
                            "measured on-disk bytes (default: none)")
+    p_db.add_argument("--adaptive-codec", action="store_true",
+                      help="mid-run codec re-pricing from the measured "
+                           "on-disk ratios of the first dumps; a codec "
+                           "that stops paying for itself is dropped "
+                           "for the rest of the run")
     p_db.add_argument("--plan-memory", type=float,
                       help="optimize the plan for this budget instead of "
                            "--memory (a bigger machine's plan, executed "
@@ -242,11 +283,20 @@ def _spill_setup(args) -> tuple[float, SpillConfig | None]:
             "a RAM budget is required: --memory or --tier ram:SIZE")
     if not lower:
         return memory, None
+    adapt = (CodecAdaptConfig(samples=args.adapt_samples)
+             if args.adaptive_codec else None)
+    if adapt is not None and args.spill_codec == "none" and not any(
+            spec.codec is not None and spec.codec.ratio > 1.0
+            for spec in lower):
+        raise ValidationError(
+            "--adaptive-codec has nothing to adapt: every tier stores "
+            "raw; add --spill-codec zlib (or a per-tier NAME:GB:CODEC)")
     return memory, SpillConfig(tiers=lower, policy=args.spill_policy,
                                promote=not args.no_promote,
                                arbitrate=not args.no_arbitration,
                                codec=args.spill_codec,
-                               prefetch=args.prefetch)
+                               prefetch=args.prefetch,
+                               adapt=adapt)
 
 
 def _print_spill_stats(trace) -> None:
@@ -258,9 +308,22 @@ def _print_spill_stats(trace) -> None:
           f"[policy {report['policy']}]")
     codec = report.get("codec", "none")
     if codec != "none":
+        observed = report.get("observed_codec_ratio")
+        # None means no spill carried ratio data — print n/a, never
+        # 0.0, so "no data" stays distinct from "incompressible" (1.0)
+        note = "n/a (no spills)" if observed is None else f"{observed:.2f}x"
         print(f"spill codec:       {codec} "
               f"({report['spill_stored_gb']:.3f} GB stored of "
-              f"{report['spill_bytes_gb']:.3f} GB logical)")
+              f"{report['spill_bytes_gb']:.3f} GB logical, "
+              f"observed ratio {note})")
+    for record in report.get("codec_adapt", {}).get("tiers", {}).values():
+        action = (f"switched to {record['switched_to']}"
+                  if record["switched_to"] else
+                  "repriced" if record["repriced"] else "kept")
+        print(f"codec adapt:       tier {record['tier']} {record['codec']} "
+              f"x{record['nominal_ratio']:g} -> observed "
+              f"x{record['observed_ratio']:.2f} after "
+              f"{record['samples']} spills: {action}")
     print(f"promotes:          {report['promote_count']} "
           f"({report['promote_bytes_gb']:.3f} GB)")
     print(f"spill/promote t:   {trace.spill_time:.3f} s")
@@ -285,37 +348,7 @@ def _print_spill_stats(trace) -> None:
               f"/ {budget}{codec_note}")
 
 
-def _cmd_simulate(args) -> int:
-    graph = _load_graph(args.graph)
-    try:
-        memory, spill = _spill_setup(args)
-        if spill is not None and ("lru" in (args.method, args.backend)):
-            raise ValidationError(
-                "the LRU baseline does not support storage tiers; drop "
-                "--tier or pick another method/backend")
-        if args.tier_aware_plan and spill is None:
-            raise ValidationError(
-                "--tier-aware-plan needs spill tiers; add --tier "
-                "(e.g. --tier ssd:8 --tier disk:inf)")
-        if args.tier_aware_plan and args.plan:
-            raise ValidationError(
-                "--tier-aware-plan optimizes a fresh plan; drop --plan "
-                "or pass a plan that was already tier-aware")
-    except ValidationError as exc:
-        # bad flag combinations keep argparse's usage-error contract
-        print(f"repro-sc simulate: error: {exc}", file=sys.stderr)
-        return 2
-    controller = Controller(options=SimulatorOptions(spill=spill))
-    plan = None
-    if args.plan:
-        with open(args.plan, encoding="utf-8") as handle:
-            plan = Plan.from_json(handle.read())
-    elif args.tier_aware_plan:
-        plan = controller.plan(graph, memory, method=args.method,
-                               seed=args.seed, tier_aware=True)
-    trace = controller.refresh(graph, memory, method=args.method,
-                               seed=args.seed, plan=plan,
-                               backend=args.backend, workers=args.workers)
+def _print_run_summary(args, plan, trace) -> None:
     print(f"method:            {args.method}")
     if plan is not None and plan.expected_tiers:
         from collections import Counter
@@ -337,6 +370,86 @@ def _cmd_simulate(args) -> int:
     print(f"peak catalog use:  {trace.peak_catalog_usage:.3f} "
           f"/ {trace.memory_budget:.3f}")
     _print_spill_stats(trace)
+
+
+def _cmd_simulate(args) -> int:
+    graph = _load_graph(args.graph)
+    try:
+        memory, spill = _spill_setup(args)
+        if spill is not None and ("lru" in (args.method, args.backend)):
+            raise ValidationError(
+                "the LRU baseline does not support storage tiers; drop "
+                "--tier or pick another method/backend")
+        if args.tier_aware_plan and spill is None:
+            raise ValidationError(
+                "--tier-aware-plan needs spill tiers; add --tier "
+                "(e.g. --tier ssd:8 --tier disk:inf)")
+        if args.tier_aware_plan and args.plan:
+            raise ValidationError(
+                "--tier-aware-plan optimizes a fresh plan; drop --plan "
+                "or pass a plan that was already tier-aware")
+        if (args.feedback or args.replan) and spill is None:
+            raise ValidationError(
+                "feedback planning needs spill tiers; add --tier "
+                "(e.g. --tier ssd:8 --tier disk:inf)")
+        if args.feedback and args.plan:
+            raise ValidationError(
+                "--feedback optimizes a fresh plan from observed "
+                "costs; drop --plan")
+        if args.feedback and args.tier_aware_plan:
+            raise ValidationError(
+                "--feedback already plans tier-aware (against observed "
+                "costs); drop --tier-aware-plan")
+    except ValidationError as exc:
+        # bad flag combinations keep argparse's usage-error contract
+        print(f"repro-sc simulate: error: {exc}", file=sys.stderr)
+        return 2
+    controller = Controller(options=SimulatorOptions(spill=spill))
+    plan = None
+    if args.plan:
+        with open(args.plan, encoding="utf-8") as handle:
+            plan = Plan.from_json(handle.read())
+    elif args.feedback:
+        from repro.engine.trace import RunTrace
+        from repro.feedback import CostFeedback
+
+        with open(args.feedback, encoding="utf-8") as handle:
+            observed = RunTrace.from_json(handle.read())
+        try:
+            feedback = CostFeedback.from_trace(observed)
+        except ValidationError as exc:
+            print(f"repro-sc simulate: error: {exc}", file=sys.stderr)
+            return 2
+        plan = controller.plan(graph, memory, method=args.method,
+                               seed=args.seed, feedback=feedback)
+    elif args.tier_aware_plan:
+        plan = controller.plan(graph, memory, method=args.method,
+                               seed=args.seed, tier_aware=True)
+    trace = controller.refresh(graph, memory, method=args.method,
+                               seed=args.seed, plan=plan,
+                               backend=args.backend, workers=args.workers)
+    if args.replan:
+        print("=== pass 1 (pre-feedback) ===")
+    _print_run_summary(args, plan, trace)
+    if args.replan:
+        plan = controller.replan_from_trace(graph, trace, memory,
+                                            method=args.method,
+                                            seed=args.seed)
+        first = trace
+        trace = controller.refresh(graph, memory, method=args.method,
+                                   seed=args.seed, plan=plan,
+                                   backend=args.backend,
+                                   workers=args.workers)
+        print()
+        print("=== pass 2 (replanned from observed costs) ===")
+        _print_run_summary(args, plan, trace)
+        delta = first.end_to_end_time - trace.end_to_end_time
+        print(f"replan gain:       {delta:+.3f} s "
+              f"({100 * delta / first.end_to_end_time:.1f}% of pass 1)"
+              if first.end_to_end_time > 0 else "replan gain:       n/a")
+    if args.save_trace:
+        with open(args.save_trace, "w", encoding="utf-8") as handle:
+            handle.write(trace.to_json())
     if args.gantt:
         print()
         print(trace.gantt())
@@ -395,9 +508,11 @@ def _demo_workload(data_dir: str, rows: int, seed: int):
 def _run_minidb(args, data_dir: str):
     workload = _demo_workload(data_dir, rows=args.rows, seed=args.seed)
     profiled = workload.profile()
+    adapt = CodecAdaptConfig() if args.adaptive_codec else None
     controller = Controller(spill_dir=args.spill_dir,
                             spill=SpillConfig(policy=args.spill_policy,
-                                              codec=args.spill_codec))
+                                              codec=args.spill_codec,
+                                              adapt=adapt))
     plan_memory = (args.memory if args.plan_memory is None
                    else args.plan_memory)
     plan = controller.plan_for_minidb(profiled, plan_memory,
@@ -414,6 +529,16 @@ def _cmd_minidb(args) -> int:
         print("repro-sc minidb: error: --plan-tiers needs --spill-dir "
               "(the extra flags would degrade to blocking writes)",
               file=sys.stderr)
+        return 2
+    if args.adaptive_codec and args.spill_codec == "none":
+        print("repro-sc minidb: error: --adaptive-codec has nothing to "
+              "adapt with --spill-codec none; add --spill-codec zlib",
+              file=sys.stderr)
+        return 2
+    if args.adaptive_codec and not args.spill_dir:
+        print("repro-sc minidb: error: --adaptive-codec needs "
+              "--spill-dir (without it the run never spills, so there "
+              "is nothing to measure)", file=sys.stderr)
         return 2
     if args.data_dir:
         plan, trace = _run_minidb(args, args.data_dir)

@@ -31,6 +31,20 @@ if TYPE_CHECKING:  # annotation-only; importing repro.metadata here would
     from repro.store.config import SpillConfig
 
 
+def warehouse_ram_gain(profile: "DeviceProfile") -> float:
+    """Seconds one flagged GB in RAM saves versus the warehouse path.
+
+    The blocking write + codec read a flag avoids, minus the in-memory
+    create and read it costs instead — the yardstick every spill tier's
+    round-trip penalty is discounted against, both for modeled budgets
+    (:meth:`TierAwareBudget.from_spill`) and observed-cost feedback
+    budgets (:meth:`TierAwareBudget.from_observations`).
+    """
+    return (1.0 / profile.effective_write_bandwidth
+            + 1.0 / profile.effective_read_bandwidth
+            - 2.0 / profile.memory_bandwidth)
+
+
 @dataclass(frozen=True)
 class TierCapacity:
     """One spill tier as the *planner* sees it.
@@ -124,27 +138,76 @@ class TierAwareBudget:
             decode seconds per logical GB — so tier-aware plans flag
             more exactly when compression makes spilling favorable.
         """
+        return cls.from_observations(ram, spill, observations=None,
+                                     profile=profile)
+
+    @classmethod
+    def from_observations(cls, ram: float, spill: "SpillConfig",
+                          observations: Mapping[str, Mapping] | None,
+                          profile: "DeviceProfile | None" = None,
+                          ) -> "TierAwareBudget":
+        """Price a spill hierarchy from *observed* per-byte costs.
+
+        The feedback-loop counterpart of :meth:`from_spill`: instead of
+        trusting the device/codec presets, each tier's write leg, read
+        leg, and codec ratio may be overridden with figures measured
+        from a previous (or in-flight) run — see
+        :meth:`repro.feedback.CostFeedback.tier_budget`, which builds
+        the ``observations`` mapping from ``RunTrace`` telemetry.
+
+        Args:
+            ram: RAM budget in GB.
+            spill: the tier hierarchy the next run will execute with.
+            observations: per-tier-name mapping with optional keys
+                ``spill_write_seconds_per_gb`` (observed demote cost per
+                logical GB, encode included),
+                ``promote_read_seconds_per_gb`` (observed reload cost
+                per logical GB, decode included), and
+                ``observed_ratio`` (realized logical/stored ratio).
+                Missing tiers/keys (or ``None`` values — "no data")
+                fall back to the modeled preset, so a partial
+                observation never degrades the budget below
+                :meth:`from_spill`'s answer.
+            profile: warehouse device model valuing a RAM byte.
+
+        Returns:
+            A budget whose discounts reflect observed reality where it
+            was measured and the model everywhere else.
+        """
         from repro.metadata.costmodel import DeviceProfile
 
         profile = profile or DeviceProfile()
-        ram_gain = (1.0 / profile.effective_write_bandwidth
-                    + 1.0 / profile.effective_read_bandwidth
-                    - 2.0 / profile.memory_bandwidth)
+        ram_gain = warehouse_ram_gain(profile)
+        observations = observations or {}
         tiers = []
         for spec in spill.tiers:
             device = spec.resolved_profile()
             codec = spec.resolved_codec(spill.codec)
-            penalty = ((1.0 / device.effective_write_bandwidth
-                        + 1.0 / device.effective_read_bandwidth)
-                       / codec.ratio
-                       + codec.encode_seconds_per_gb
-                       + codec.decode_seconds_per_gb)
+            observed = observations.get(spec.name, {})
+            ratio = observed.get("observed_ratio")
+            if ratio is None:
+                ratio = codec.ratio
+            # modeled fallback legs divide the transfer by the best
+            # known ratio — the observed one when the run measured it —
+            # so a budget never mixes observed capacity with
+            # preset-ratio transfer pricing
+            write_leg = observed.get("spill_write_seconds_per_gb")
+            if write_leg is None:
+                write_leg = (1.0 / device.effective_write_bandwidth
+                             / ratio
+                             + codec.encode_seconds_per_gb)
+            read_leg = observed.get("promote_read_seconds_per_gb")
+            if read_leg is None:
+                read_leg = (1.0 / device.effective_read_bandwidth
+                            / ratio
+                            + codec.decode_seconds_per_gb)
+            penalty = write_leg + read_leg
             discount = (max(0.0, 1.0 - penalty / ram_gain)
                         if ram_gain > 0 else 0.0)
             tiers.append(TierCapacity(
-                name=spec.name, capacity=spec.budget * codec.ratio,
+                name=spec.name, capacity=spec.budget * ratio,
                 discount=discount, penalty_seconds_per_gb=penalty,
-                codec_ratio=codec.ratio))
+                codec_ratio=ratio))
         return cls(ram=ram, tiers=tuple(tiers))
 
     # ------------------------------------------------------------------

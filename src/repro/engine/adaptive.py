@@ -167,8 +167,8 @@ class AdaptiveController:
                 f"true_sizes missing nodes: {missing[:5]}")
         simulator = RefreshSimulator(profile=self.profile,
                                      options=self.options)
-        state = simulator.begin(memory_budget)
         truth = _truth_graph(estimated, true_sizes)
+        state = simulator.begin(memory_budget, graph=truth)
         report = AdaptiveRunReport(total_time=0.0)
 
         planning_graph = estimated.copy()

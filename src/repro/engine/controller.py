@@ -72,11 +72,16 @@ class Controller:
         return replace(self.options, spill=self.spill)
 
     # ------------------------------------------------------------------
-    def tier_budget(self, memory_budget: float) -> TierAwareBudget:
+    def tier_budget(self, memory_budget: float,
+                    feedback=None) -> TierAwareBudget:
         """Price the controller's spill tiers for tier-aware planning.
 
         Args:
             memory_budget: the RAM budget the plan will run under.
+            feedback: optional :class:`~repro.feedback.CostFeedback` —
+                when given, each tier's write/read leg and codec ratio
+                come from the feedback's *observed* figures where they
+                exist, modeled presets elsewhere.
 
         Returns:
             A :class:`~repro.core.problem.TierAwareBudget` built from
@@ -93,12 +98,15 @@ class Controller:
             raise ValidationError(
                 "tier-aware planning needs a spill configuration; set "
                 "Controller.spill or options.spill")
+        if feedback is not None:
+            return feedback.tier_budget(memory_budget, spill,
+                                        profile=self.profile)
         return TierAwareBudget.from_spill(memory_budget, spill,
                                           profile=self.profile)
 
     def plan(self, graph: DependencyGraph, memory_budget: float,
              method: str = "sc", seed: int = 0,
-             tier_aware: bool = False) -> Plan:
+             tier_aware: bool = False, feedback=None) -> Plan:
         """Run the Optimizer and return the refresh plan.
 
         Args:
@@ -111,25 +119,65 @@ class Controller:
                 tiers (:meth:`tier_budget`) so the plan flags more
                 aggressively when spilling is cheap; the returned plan's
                 ``expected_tiers`` records the anticipated placements.
+            feedback: optional :class:`~repro.feedback.CostFeedback`
+                from an earlier run — implies tier-aware planning
+                against *observed* tier costs (see
+                :meth:`replan_from_trace` for the one-call form).
 
         Returns:
             The refresh :class:`~repro.core.plan.Plan`.
 
         Raises:
-            ValidationError: unknown method, or ``tier_aware`` without a
-                spill configuration.
+            ValidationError: unknown method, or ``tier_aware`` /
+                ``feedback`` without a spill configuration.
         """
-        tier_budget = (self.tier_budget(memory_budget) if tier_aware
-                       else None)
+        tier_budget = (self.tier_budget(memory_budget, feedback=feedback)
+                       if tier_aware or feedback is not None else None)
         problem = ScProblem(graph=graph, memory_budget=memory_budget,
                             tier_budget=tier_budget)
         return optimize(problem, method=method, seed=seed).plan
+
+    def replan_from_trace(self, graph: DependencyGraph, trace: RunTrace,
+                          memory_budget: float | None = None,
+                          method: str = "sc", seed: int = 0) -> Plan:
+        """Re-plan against the costs an executed run actually observed.
+
+        The two-pass feedback loop in one call: the trace's
+        ``extras["tiered_store"]`` telemetry is distilled into a
+        :class:`~repro.feedback.CostFeedback` and the optimizer solves
+        against the feedback-derived
+        :class:`~repro.core.problem.TierAwareBudget` — observed
+        spill-write/promote-read seconds per GB and realized codec
+        ratios replacing the device/codec presets.
+
+        Args:
+            graph: the dependency DAG (same workload as the trace).
+            trace: a completed tiered run's trace.
+            memory_budget: RAM budget for the new plan (defaults to the
+                trace's own ``memory_budget``).
+            method: optimizer method name.
+            seed: optimizer seed.
+
+        Returns:
+            The replanned :class:`~repro.core.plan.Plan`.
+
+        Raises:
+            ValidationError: no spill configuration armed, or the trace
+                carries no tiered-store telemetry.
+        """
+        from repro.feedback import CostFeedback
+
+        feedback = CostFeedback.from_trace(trace)
+        budget = (trace.memory_budget if memory_budget is None
+                  else memory_budget)
+        return self.plan(graph, budget, method=method, seed=seed,
+                         feedback=feedback)
 
     def refresh(self, graph: DependencyGraph, memory_budget: float,
                 method: str = "sc", seed: int = 0,
                 plan: Plan | None = None, backend: str | None = None,
                 workers: int | None = None,
-                tier_aware: bool = False) -> RunTrace:
+                tier_aware: bool = False, feedback=None) -> RunTrace:
         """Optimize (unless a plan is given) and execute a refresh run.
 
         Args:
@@ -144,14 +192,16 @@ class Controller:
             workers: worker count for parallel backends.
             tier_aware: when optimizing here (no ``plan`` given), price
                 flagging against the spill tiers (see :meth:`plan`).
+            feedback: optional :class:`~repro.feedback.CostFeedback`
+                steering that optimization with observed tier costs.
 
         Returns:
             The run's :class:`~repro.engine.trace.RunTrace`.
 
         Raises:
             ValidationError: inconsistent method/backend combinations,
-                spill on the LRU baseline, or ``tier_aware`` without a
-                spill configuration.
+                spill on the LRU baseline, or ``tier_aware`` /
+                ``feedback`` without a spill configuration.
         """
         name = backend or ("lru" if method == "lru" else self.backend)
         if method == "lru" and name != "lru":
@@ -178,7 +228,7 @@ class Controller:
             return executor.run(graph, plan, memory_budget, method=method)
         if plan is None:
             plan = self.plan(graph, memory_budget, method=method, seed=seed,
-                             tier_aware=tier_aware)
+                             tier_aware=tier_aware, feedback=feedback)
         return executor.run(graph, plan, memory_budget, method=method)
 
     # ------------------------------------------------------------------
@@ -265,6 +315,8 @@ class Controller:
             # the resolved CodecProfile, so custom codecs pass through
             extra["spill_codec"] = (self.spill.codec if self.spill
                                     else "none")
+            extra["spill_adapt"] = (self.spill.adapt if self.spill
+                                    else None)
         executor = create_backend(  # lazy import: optional numpy dep
             "minidb", profile=self.profile, options=self.options,
             seed=seed, workload=workload, **extra)

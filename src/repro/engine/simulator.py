@@ -116,15 +116,29 @@ class RefreshSimulator:
     options: SimulatorOptions = field(default_factory=SimulatorOptions)
 
     # ------------------------------------------------------------------
-    def begin(self, memory_budget: float) -> SimulatorState:
-        """Fresh mid-run state for segment-wise execution."""
+    def begin(self, memory_budget: float,
+              graph: DependencyGraph | None = None) -> SimulatorState:
+        """Fresh mid-run state for segment-wise execution.
+
+        When a tiered store is armed and ``graph`` is given, per-node
+        ``meta["compressibility"]`` multipliers are installed on the
+        ledger so simulated spills realize each table's own codec ratio
+        instead of the preset (the raw material for observed-ratio
+        telemetry and mid-run codec adaptation).
+        """
         if memory_budget < 0:
             raise ValidationError("memory_budget must be >= 0")
         if self.options.spill is not None:
-            from repro.store.tiered import TieredLedger
+            from repro.store.tiered import (
+                TieredLedger,
+                compressibility_from_graph,
+            )
 
             catalog: MemoryLedger = TieredLedger(
                 memory_budget, self.options.spill, profile=self.profile)
+            if graph is not None:
+                catalog.set_compressibility(
+                    compressibility_from_graph(graph))
         else:
             catalog = MemoryCatalog(budget=memory_budget)
         return SimulatorState(catalog=catalog,
@@ -134,7 +148,7 @@ class RefreshSimulator:
             memory_budget: float, method: str = "") -> RunTrace:
         """Execute ``plan`` and return the full trace."""
         check_topological_order(graph, plan.order)
-        state = self.begin(memory_budget)
+        state = self.begin(memory_budget, graph=graph)
         self.run_segment(graph, list(plan.order), plan.flagged, state)
         return self.finish(state, memory_budget, method=method)
 

@@ -31,6 +31,13 @@ spill files.  Either way the ledger's spill tier is charged the
 *measured* on-disk bytes of every dump, so
 ``extras["tiered_store"]["spill_stored_gb"]`` reports the genuine
 compressed footprint next to the logical ``spill_bytes_gb``.
+
+``spill_adapt`` (a :class:`~repro.store.config.CodecAdaptConfig`) arms
+mid-run codec re-pricing on those *measured* ratios: after the first K
+real dumps the ledger compares the realized compression against the
+codec preset and, when the observed saving no longer covers the codec
+tax, drops the codec for the rest of the run — later victims dump raw
+(``extras["tiered_store"]["codec_adapt"]`` logs the decision).
 """
 
 from __future__ import annotations
@@ -104,7 +111,8 @@ class MiniDbBackend(ExecutionBackend):
             config = SpillConfig(
                 tiers=(TierSpec("spill-disk"),),
                 policy=self.extra.get("spill_policy", "cost"),
-                codec=self.extra.get("spill_codec", "none"))
+                codec=self.extra.get("spill_codec", "none"),
+                adapt=self.extra.get("spill_adapt"))
             # charge_io=False: this backend measures real wall clocks
             # around real (de)serialization instead of charging a model
             ledger: MemoryLedger = TieredLedger(memory_budget, config,
@@ -293,7 +301,9 @@ class MiniDbBackend(ExecutionBackend):
         victim = ctx.ledger.pick_victim(exclude=protect)
         if victim is None:
             return False
-        compress = ctx.ledger.config.codec.name != "none"
+        # mid-run adaptation may have dropped the codec: consult the
+        # spill tier's *current* codec, not the configured preset
+        compress = ctx.ledger.current_codec(1).name != "none"
         started = time.perf_counter()
         if db.catalog.persisted(victim):
             stored_gb = 0.0  # the durable warehouse copy serves readers

@@ -168,11 +168,15 @@ class ParallelSimulatorBackend(ExecutionBackend):
         state.ready = {v for v, d in state.deps_left.items() if d == 0}
         options = self.options or SimulatorOptions()
         if options.spill is not None:
-            from repro.store.tiered import TieredLedger
+            from repro.store.tiered import (
+                TieredLedger,
+                compressibility_from_graph,
+            )
 
             ledger: MemoryLedger = TieredLedger(
                 memory_budget, options.spill,
                 profile=self.profile or DeviceProfile())
+            ledger.set_compressibility(compressibility_from_graph(graph))
         else:
             ledger = MemoryLedger(budget=memory_budget)
         return ExecutionContext(graph=graph, plan=plan,

@@ -39,7 +39,7 @@ class SerialSimulatorBackend(ExecutionBackend):
         simulator = RefreshSimulator(
             profile=self.profile or DeviceProfile(),
             options=self.options or SimulatorOptions())
-        state = simulator.begin(memory_budget)
+        state = simulator.begin(memory_budget, graph=graph)
         return ExecutionContext(graph=graph, plan=plan,
                                 memory_budget=memory_budget, method=method,
                                 ledger=state.catalog,

@@ -86,6 +86,7 @@ from repro.store.config import (
     SPILL_CODECS,
     SSD_PROFILE,
     ZLIB_CODEC,
+    CodecAdaptConfig,
     CodecProfile,
     SpillConfig,
     TierSpec,
@@ -102,6 +103,7 @@ from repro.store.policy import (
 from repro.store.tiered import SpillCharge, StorageTier, TieredLedger
 
 __all__ = [
+    "CodecAdaptConfig",
     "CodecProfile",
     "LOCAL_DISK_PROFILE",
     "NONE_CODEC",

@@ -48,12 +48,25 @@ LOCAL_DISK_PROFILE = DeviceProfile(
     encode_rate=math.inf,
 )
 
+#: Cold network/object-store rung (NFS mount, blob store): transfers so
+#: dear that whether its bytes are worth flagging depends on the codec
+#: ratio actually realized — the regime the feedback loop re-prices.
+COLD_PROFILE = DeviceProfile(
+    disk_read_bandwidth=0.12,
+    disk_write_bandwidth=0.10,
+    read_latency=5e-3,
+    decode_rate=math.inf,
+    encode_rate=math.inf,
+)
+
 #: Default device model per well-known tier name (``--tier ssd:8``).
 TIER_PROFILES: dict[str, DeviceProfile] = {
     "ssd": SSD_PROFILE,
     "nvme": SSD_PROFILE,
     "disk": LOCAL_DISK_PROFILE,
     "hdd": LOCAL_DISK_PROFILE,
+    "cold": COLD_PROFILE,
+    "nfs": COLD_PROFILE,
 }
 
 
@@ -119,6 +132,42 @@ def resolve_codec(codec: "CodecProfile | str") -> CodecProfile:
     raise ValidationError(
         f"unknown spill codec {codec!r}; choose from "
         f"{tuple(sorted(SPILL_CODECS))} or pass a CodecProfile")
+
+
+@dataclass(frozen=True)
+class CodecAdaptConfig:
+    """Mid-run codec re-pricing policy (``SpillConfig.adapt``).
+
+    Fixed codec assumptions mis-price storage when the workload's actual
+    compressibility diverges from the preset (cf. the workload-dependent
+    ratios reported in *Datalog Reasoning over Compressed RDF Knowledge
+    Bases*).  With adaptation armed, the tiered ledger measures the
+    realized ratio of the first ``samples`` tables spilled into each
+    compressing tier and, when the observed ratio diverges from the
+    codec's nominal ratio by more than ``threshold``, *re-prices* the
+    tier: the arbitration/victim cost model switches to the observed
+    ratio, and — when ``allow_switch`` is set and the observed saving no
+    longer covers the codec's encode+decode tax — the tier drops its
+    codec entirely and stores future spills raw.  Every decision is
+    logged in ``extras["tiered_store"]["codec_adapt"]``.
+
+    Attributes:
+        samples: spilled tables to measure before deciding (per tier).
+        threshold: relative ratio divergence that triggers a re-price
+            (``|observed - nominal| / nominal``).
+        allow_switch: permit dropping a codec that stops paying for
+            itself (re-pricing alone never changes stored bytes).
+    """
+
+    samples: int = 4
+    threshold: float = 0.25
+    allow_switch: bool = True
+
+    def __post_init__(self) -> None:
+        if self.samples < 1:
+            raise ValidationError("adapt samples must be >= 1")
+        if not self.threshold > 0:  # also rejects NaN
+            raise ValidationError("adapt threshold must be > 0")
 
 
 @dataclass(frozen=True)
@@ -213,6 +262,12 @@ class SpillConfig:
             into RAM before their consumer dispatches, so the consumer
             reads at memory bandwidth instead of paying the tier's
             device + decode path.  Off by default (bit-equal traces).
+        adapt: optional :class:`CodecAdaptConfig` arming mid-run codec
+            re-pricing — the ledger samples the measured compressibility
+            of the first K spilled tables per tier and swaps the tier's
+            effective ratio (and optionally its codec) when reality
+            diverges from the preset.  ``None`` (default) keeps every
+            codec assumption frozen for the whole run.
 
     Raises:
         ValidationError: for an empty hierarchy, duplicate tier names,
@@ -225,10 +280,15 @@ class SpillConfig:
     arbitrate: bool = True
     codec: CodecProfile | str = "none"
     prefetch: bool = False
+    adapt: CodecAdaptConfig | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "tiers", tuple(self.tiers))
         object.__setattr__(self, "codec", resolve_codec(self.codec))
+        if self.adapt is not None and not isinstance(self.adapt,
+                                                     CodecAdaptConfig):
+            raise ValidationError(
+                "adapt must be a CodecAdaptConfig or None")
         if not self.tiers:
             raise ValidationError("a SpillConfig needs at least one tier")
         names = [spec.name for spec in self.tiers]

@@ -24,12 +24,30 @@ the arbitration estimate prices both so stall-vs-spill decisions see
 the true codec cost.  With ``codec="none"`` every stored size equals its
 logical size and every codec term is exactly zero, keeping traces
 bit-identical to the uncompressed pipeline.
+
+Two run-time refinements close the model-vs-runtime loop:
+
+* **Per-entry compressibility** — a node's ``meta["compressibility"]``
+  (a multiplier on the codec's nominal ratio headroom; 1.0 = typical,
+  0.0 = incompressible, 2.0 = compresses twice as well) lets simulated
+  workloads carry mixed compressibility, so observed codec ratios can
+  genuinely diverge from the preset the way MiniDB's real spill dumps
+  do.  Backends harvest the mapping with
+  :func:`compressibility_from_graph`.
+* **Observed-cost telemetry + codec adaptation** — the ledger records
+  per-tier observed migration seconds per GB and realized codec ratios
+  (``tier_report()["tiers"][i]["observed"]``), feeding the planner's
+  :class:`~repro.feedback.CostFeedback` loop; with
+  ``SpillConfig.adapt`` armed it additionally samples the first K
+  spills per tier and *re-prices* (or drops) a codec whose measured
+  ratio diverges from its preset
+  (``tier_report()["codec_adapt"]``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Mapping
 
 from repro.engine.storage import StorageDevice
 from repro.errors import BudgetExceededError, CatalogError, ExecutionError
@@ -37,6 +55,49 @@ from repro.exec.ledger import MemoryLedger
 from repro.metadata.costmodel import DeviceProfile
 from repro.store.config import NONE_CODEC, CodecProfile, SpillConfig, TierSpec
 from repro.store.policy import VictimInfo, create_policy
+
+
+def compressibility_from_graph(graph) -> dict[str, float]:
+    """Harvest per-node ``meta["compressibility"]`` multipliers.
+
+    Backends pass the result to
+    :meth:`TieredLedger.set_compressibility` when arming a tiered run,
+    so simulated spills realize each table's own ratio instead of the
+    codec preset.  Nodes without the key are omitted (multiplier 1.0).
+    """
+    out: dict[str, float] = {}
+    for node_id in graph.nodes():
+        value = graph.node(node_id).meta.get("compressibility")
+        if value is not None:
+            out[node_id] = float(value)
+    return out
+
+
+@dataclass
+class _TierTelemetry:
+    """Observed migration/read traffic of one tier (simulated seconds).
+
+    ``spill_in_*`` counts entries encoded *into* this tier (demotions
+    and direct placements, with the full migration charge attributed to
+    the destination); ``read_*`` counts charged reads of entries
+    resident here (device + decode); ``promote_*`` counts entries
+    promoted *out* of this tier back into RAM (the in-memory create).
+    """
+
+    spill_in_count: int = 0
+    spill_in_logical_gb: float = 0.0
+    spill_in_stored_gb: float = 0.0
+    spill_in_seconds: float = 0.0
+    # only dumps that actually wrote bytes carry ratio information —
+    # durable MiniDB victims charge 0 stored GB and would skew it
+    encoded_logical_gb: float = 0.0
+    encoded_stored_gb: float = 0.0
+    read_count: int = 0
+    read_logical_gb: float = 0.0
+    read_seconds: float = 0.0
+    promote_count: int = 0
+    promote_logical_gb: float = 0.0
+    promote_seconds: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -279,6 +340,25 @@ class TieredLedger(MemoryLedger):
         # logical (decoded) GB of entries in lower tiers; their tier
         # ledgers are charged the stored (compressed) size instead
         self._logical: dict[str, float] = {}
+        # codec each lower-tier entry's bytes were actually encoded
+        # with (decode on read-back is priced per entry, so a mid-run
+        # codec switch never mis-prices already-stored files)
+        self._entry_codec: dict[str, CodecProfile] = {}
+        # per-node compressibility multipliers (see set_compressibility)
+        self._compressibility: dict[str, float] = {}
+        # the ratio the *cost model* (arbitration, victim ranking,
+        # estimates) prices each tier at; starts at the codec preset and
+        # moves to the observed ratio when adaptation re-prices a tier
+        self._priced_ratio: list[float] = [c.ratio for c in self._codecs]
+        # observed migration/read traffic per tier (feedback telemetry)
+        self._telemetry: list[_TierTelemetry] = [
+            _TierTelemetry() for _ in self.tiers]
+        # mid-run codec adaptation state (SpillConfig.adapt)
+        self._adapt_logical: list[float] = [0.0] * len(self.tiers)
+        self._adapt_stored: list[float] = [0.0] * len(self.tiers)
+        self._adapt_samples: list[int] = [0] * len(self.tiers)
+        self._adapted: set[int] = set()
+        self.codec_adapt: dict[str, dict] = {}
         self._recency: dict[str, int] = {}
         self._tick = 0
         self.spill_count = 0
@@ -391,6 +471,7 @@ class TieredLedger(MemoryLedger):
     def _forget(self, node_id: str) -> None:
         self._lower_location.pop(node_id, None)
         self._logical.pop(node_id, None)
+        self._entry_codec.pop(node_id, None)
         self._recency.pop(node_id, None)
         self._prefetch_missed.discard(node_id)
 
@@ -398,8 +479,59 @@ class TieredLedger(MemoryLedger):
     # codec accounting
     # ------------------------------------------------------------------
     def _codec(self, index: int) -> CodecProfile:
-        """The codec governing tier ``index`` (RAM never encodes)."""
+        """The codec governing tier ``index`` (RAM never encodes).
+
+        This is the tier's *current algorithm*: mid-run adaptation may
+        have switched it away from the configured preset.
+        """
         return self._codecs[index]
+
+    def current_codec(self, index: int) -> CodecProfile:
+        """Public view of a tier's current codec (adaptation-aware)."""
+        with self._lock:
+            return self._codecs[index]
+
+    def priced_ratio(self, index: int) -> float:
+        """The ratio the cost model prices tier ``index`` at.
+
+        Equals the codec preset's ratio until mid-run adaptation
+        re-prices the tier to its observed ratio.
+        """
+        with self._lock:
+            return self._priced_ratio[index]
+
+    def set_compressibility(self, mapping: Mapping[str, float]) -> None:
+        """Install per-node compressibility multipliers.
+
+        ``mapping[node] = m`` scales the codec's nominal ratio headroom
+        for that node's table: the realized stored ratio is
+        ``max(1, 1 + (ratio - 1) * m)``, so ``m=1`` reproduces the
+        preset, ``m=0`` stores incompressible bytes raw-sized, and
+        ``m=2`` compresses twice as well.  Unknown nodes default to 1.
+        """
+        with self._lock:
+            for node_id, mult in mapping.items():
+                if mult < 0:
+                    raise CatalogError(
+                        f"compressibility of {node_id!r} must be >= 0")
+            self._compressibility = dict(mapping)
+
+    def _entry_ratio(self, index: int, node_id: str) -> float:
+        """Realized stored ratio of ``node_id`` encoded into ``index``.
+
+        The one ratio every sizing and pricing site uses, so actual
+        demotion charges and arbitration/victim estimates can never
+        diverge: the entry's own compressibility multiplier when known,
+        otherwise the tier's priced ratio — the codec preset until
+        mid-run adaptation re-prices it to the observed ratio.
+        """
+        ratio = self._codec(index).ratio
+        if ratio <= 1.0:
+            return 1.0
+        mult = self._compressibility.get(node_id)
+        if mult is None:
+            return self._priced_ratio[index]
+        return max(1.0, 1.0 + (ratio - 1.0) * mult)
 
     def _logical_size(self, index: int, node_id: str) -> float:
         """Logical GB of an entry resident in tier ``index``."""
@@ -414,11 +546,102 @@ class TieredLedger(MemoryLedger):
             return 0.0
         return self._codec(index).encode_seconds_per_gb * logical
 
-    def _decode_seconds(self, index: int, logical: float) -> float:
-        """CPU seconds to decompress ``logical`` GB out of tier ``index``."""
+    def _entry_decode_seconds(self, node_id: str, logical: float) -> float:
+        """CPU seconds to decompress an entry's stored bytes.
+
+        Priced with the codec the entry was *actually encoded with*, so
+        a mid-run codec switch never mis-charges files written earlier.
+        """
         if not self.charge_io:
             return 0.0
-        return self._codec(index).decode_seconds_per_gb * logical
+        codec = self._entry_codec.get(node_id, NONE_CODEC)
+        return codec.decode_seconds_per_gb * logical
+
+    def _record_spill_in(self, index: int, node_id: str, logical: float,
+                         stored: float, seconds: float) -> None:
+        """Book one entry's arrival in tier ``index``: its encoding
+        codec, the tier's spill-in telemetry, and (when armed) the
+        adaptation sample — the single bookkeeping rule shared by
+        demotions and direct placements."""
+        self._entry_codec[node_id] = self._codec(index)
+        telemetry = self._telemetry[index]
+        telemetry.spill_in_count += 1
+        telemetry.spill_in_logical_gb += logical
+        telemetry.spill_in_stored_gb += stored
+        telemetry.spill_in_seconds += seconds
+        if logical > 0.0 and stored > 0.0:
+            telemetry.encoded_logical_gb += logical
+            telemetry.encoded_stored_gb += stored
+        self._record_spill_sample(index, logical, stored)
+
+    # ------------------------------------------------------------------
+    # mid-run codec adaptation (SpillConfig.adapt)
+    # ------------------------------------------------------------------
+    def _record_spill_sample(self, index: int, logical: float,
+                             stored: float) -> None:
+        """Accumulate one realized (logical, stored) spill measurement
+        toward the tier's adaptation decision (:meth:`_maybe_adapt`).
+
+        Only active while ``SpillConfig.adapt`` is armed, the tier has
+        not decided yet, and its codec still compresses.  Zero-byte
+        dumps (durable victims in the MiniDB backend, empty tables)
+        carry no ratio information and are skipped.
+        """
+        if logical <= 0.0 or stored <= 0.0:
+            return
+        if self.config.adapt is None or index in self._adapted:
+            return
+        if self._codec(index).ratio <= 1.0:
+            return  # nothing to adapt: the tier already stores raw
+        self._adapt_logical[index] += logical
+        self._adapt_stored[index] += stored
+        self._adapt_samples[index] += 1
+        if self._adapt_samples[index] >= self.config.adapt.samples:
+            self._maybe_adapt(index)
+
+    def _maybe_adapt(self, index: int) -> None:
+        """Decide once, per tier, after K measured spills.
+
+        When the observed ratio diverges from the codec preset past the
+        configured threshold the tier is *re-priced*: the cost model
+        (arbitration estimates, victim ranking, planner feedback) moves
+        to the observed ratio.  When the observed saving no longer
+        covers the codec's encode+decode tax — one device round trip of
+        the bytes the codec actually removes versus its CPU stages —
+        the tier additionally *switches* its codec off, storing future
+        spills raw.  The decision is logged in
+        ``tier_report()["codec_adapt"]``.
+        """
+        self._adapted.add(index)
+        adapt = self.config.adapt
+        algo = self._codec(index)
+        observed = self._adapt_logical[index] / self._adapt_stored[index]
+        record = {
+            "tier": self.tiers[index].name,
+            "codec": algo.name,
+            "nominal_ratio": algo.ratio,
+            "observed_ratio": observed,
+            "samples": self._adapt_samples[index],
+            "repriced": False,
+            "switched_to": None,
+            "at_spill": self.spill_count,
+        }
+        diverged = (abs(observed - algo.ratio) / algo.ratio
+                    > adapt.threshold)
+        if diverged:
+            record["repriced"] = True
+            self._priced_ratio[index] = observed
+            device = self.tiers[index].spec.resolved_profile()
+            round_trip = (1.0 / device.effective_write_bandwidth
+                          + 1.0 / device.effective_read_bandwidth)
+            saving = round_trip * (1.0 - 1.0 / observed)
+            tax = (algo.encode_seconds_per_gb
+                   + algo.decode_seconds_per_gb)
+            if adapt.allow_switch and tax >= saving:
+                self._codecs[index] = NONE_CODEC
+                self._priced_ratio[index] = 1.0
+                record["switched_to"] = NONE_CODEC.name
+        self.codec_adapt[self.tiers[index].name] = record
 
     # ------------------------------------------------------------------
     # recency (for the LRU policy; logical, not wall-clock)
@@ -464,7 +687,7 @@ class TieredLedger(MemoryLedger):
         for node_id in self._tier_entries(index):
             size = ledger.size_of(node_id)
             logical = self._logical_size(index, node_id)
-            stored_dst = logical / dst_codec.ratio
+            stored_dst = logical / self._entry_ratio(index + 1, node_id)
             infos.append(VictimInfo(
                 node_id=node_id,
                 size=size,
@@ -519,7 +742,7 @@ class TieredLedger(MemoryLedger):
         stored_src = src.ledger.size_of(node_id)
         logical = self._logical_size(idx, node_id)
         stored_dst = (stored_override if stored_override is not None
-                      else logical / self._codec(idx + 1).ratio)
+                      else logical / self._entry_ratio(idx + 1, node_id))
         ok, charges = self._make_room(idx + 1, stored_dst, now)
         if not ok:
             return None
@@ -535,7 +758,9 @@ class TieredLedger(MemoryLedger):
                    + dst.write_seconds(stored_dst, now)
                    + self._encode_seconds(idx + 1, logical))
         if idx > 0:
-            seconds += self._decode_seconds(idx, logical)
+            seconds += self._entry_decode_seconds(node_id, logical)
+        self._record_spill_in(idx + 1, node_id, logical, stored_dst,
+                              seconds)
         charges.append(SpillCharge(
             node_id=node_id, src=src.name, dst=dst.name, size=logical,
             seconds=seconds))
@@ -604,7 +829,7 @@ class TieredLedger(MemoryLedger):
                 return 0, charges
             for idx in range(1, len(self.tiers)):
                 tier = self.tiers[idx]
-                stored = size / self._codec(idx).ratio
+                stored = size / self._entry_ratio(idx, node_id)
                 fits, more = self._make_room(idx, stored, now)
                 charges.extend(more)
                 if not fits:
@@ -617,10 +842,12 @@ class TieredLedger(MemoryLedger):
                 self.spill_count += 1
                 self.spill_bytes += size
                 self.spill_stored_bytes += stored
+                seconds = (tier.write_seconds(stored, now)
+                           + self._encode_seconds(idx, size))
+                self._record_spill_in(idx, node_id, size, stored, seconds)
                 charges.append(SpillCharge(
                     node_id=node_id, src="new", dst=tier.name, size=size,
-                    seconds=(tier.write_seconds(stored, now)
-                             + self._encode_seconds(idx, size))))
+                    seconds=seconds))
                 return idx, charges
             error = BudgetExceededError(
                 f"no storage tier can host {node_id!r} ({size:.6g} GB)",
@@ -644,10 +871,15 @@ class TieredLedger(MemoryLedger):
         _, consumers, pending = src.ledger.detach(node_id)
         del self._lower_location[node_id]
         self._logical.pop(node_id, None)
+        self._entry_codec.pop(node_id, None)
         self._prefetch_missed.discard(node_id)
         self.adopt(node_id, logical, consumers, pending)
         seconds = (self.profile.create_time_memory(logical)
                    if self.charge_io else 0.0)
+        telemetry = self._telemetry[idx]
+        telemetry.promote_count += 1
+        telemetry.promote_logical_gb += logical
+        telemetry.promote_seconds += seconds
         return SpillCharge(node_id=node_id, src=src.name, dst="ram",
                            size=logical, seconds=seconds)
 
@@ -746,14 +978,17 @@ class TieredLedger(MemoryLedger):
                 return None  # exceeds what RAM can ever admit
             deficit = size - self.available
             dst = self.tiers[1]
-            dst_ratio = self._codec(1).ratio
             freed = 0.0
             cost = 0.0
             for victim in self._victims(0):
                 if freed >= deficit - 1e-12:
                     break
                 freed += victim.size
-                cost += (dst.write_seconds(victim.size / dst_ratio, now)
+                # per-victim realized ratio: the same figure the actual
+                # demotion will charge (_demote_locked), so one estimate
+                # never mixes preset and realized pricing
+                stored = victim.size / self._entry_ratio(1, victim.node_id)
+                cost += (dst.write_seconds(stored, now)
                          + self._encode_seconds(1, victim.size))
                 if victim.consumers_left > 0:
                     if self.config.promote:
@@ -797,9 +1032,48 @@ class TieredLedger(MemoryLedger):
             idx, tier = self._holding(node_id)
             seconds = tier.read_seconds(tier.ledger.size_of(node_id), now)
             if idx > 0:
-                seconds += self._decode_seconds(
-                    idx, self._logical_size(idx, node_id))
+                logical = self._logical_size(idx, node_id)
+                seconds += self._entry_decode_seconds(node_id, logical)
+                telemetry = self._telemetry[idx]
+                telemetry.read_count += 1
+                telemetry.read_logical_gb += logical
+                telemetry.read_seconds += seconds
             return seconds
+
+    def _observed_report(self, index: int) -> dict:
+        """One tier's observed-cost telemetry, report-ready.
+
+        Per-GB seconds are ``None`` (not ``0.0``) when no traffic of
+        that kind happened *or* when this ledger does not charge
+        simulated seconds (``charge_io=False`` — real-I/O executors
+        measure wall clocks on the node traces instead);
+        ``observed_ratio`` is ``None`` when the tier never received a
+        spill, so "no data" is distinguishable from "incompressible"
+        (ratio 1.0).
+        """
+        telemetry = self._telemetry[index]
+
+        def per_gb(seconds: float, gigabytes: float) -> float | None:
+            if not self.charge_io or gigabytes <= 0.0:
+                return None
+            return seconds / gigabytes
+
+        return {
+            "spill_in_count": telemetry.spill_in_count,
+            "spill_in_gb": telemetry.spill_in_logical_gb,
+            "spill_in_stored_gb": telemetry.spill_in_stored_gb,
+            "spill_write_seconds_per_gb": per_gb(
+                telemetry.spill_in_seconds, telemetry.spill_in_logical_gb),
+            "read_gb": telemetry.read_logical_gb,
+            "read_seconds_per_gb": per_gb(
+                telemetry.read_seconds, telemetry.read_logical_gb),
+            "promote_gb": telemetry.promote_logical_gb,
+            "promote_create_seconds_per_gb": per_gb(
+                telemetry.promote_seconds, telemetry.promote_logical_gb),
+            "observed_ratio": (
+                telemetry.encoded_logical_gb / telemetry.encoded_stored_gb
+                if telemetry.encoded_stored_gb > 0.0 else None),
+        }
 
     # ------------------------------------------------------------------
     def tier_report(self) -> dict:
@@ -808,7 +1082,14 @@ class TieredLedger(MemoryLedger):
 
         ``usage``/``peak`` are *stored* (on-tier, possibly compressed)
         GB — the unit each tier's capacity is charged in; ``logical``
-        is the decoded GB currently resident there.
+        is the decoded GB currently resident there.  Each tier also
+        carries its ``observed`` telemetry (measured seconds per GB and
+        realized codec ratio — the raw material of the planner's
+        feedback loop; ``observed_ratio`` is ``None``, not ``0.0``,
+        when the tier never received a spill) and its ``priced_ratio``
+        (the ratio the run's cost model used, which mid-run adaptation
+        may have moved off the codec preset).  ``codec_adapt`` logs
+        every adaptation decision taken this run.
         """
         with self._lock:
             tiers = []
@@ -824,8 +1105,10 @@ class TieredLedger(MemoryLedger):
                     "resident": len(entries),
                     "codec": codec.name,
                     "codec_ratio": codec.ratio,
+                    "priced_ratio": self._priced_ratio[index],
                     "logical": sum(self._logical_size(index, node_id)
                                    for node_id in entries),
+                    "observed": self._observed_report(index),
                 })
             return {
                 "policy": self.policy.name,
@@ -836,6 +1119,11 @@ class TieredLedger(MemoryLedger):
                 "spill_bytes_gb": self.spill_bytes,
                 "spill_stored_gb": self.spill_stored_bytes,
                 "promote_bytes_gb": self.promote_bytes,
+                "observed_codec_ratio": (
+                    sum(t.encoded_logical_gb for t in self._telemetry)
+                    / sum(t.encoded_stored_gb for t in self._telemetry)
+                    if any(t.encoded_stored_gb > 0.0
+                           for t in self._telemetry) else None),
                 "arbitration": {
                     "enabled": self.config.arbitrate,
                     "stall_wins": self.stall_wins,
@@ -849,6 +1137,10 @@ class TieredLedger(MemoryLedger):
                     "bytes_gb": self.prefetch_bytes,
                     "hidden_seconds": self.prefetch_hidden_seconds,
                     "misses": self.prefetch_misses,
+                },
+                "codec_adapt": {
+                    "enabled": self.config.adapt is not None,
+                    "tiers": dict(self.codec_adapt),
                 },
                 "tiers": tiers,
             }

@@ -10,6 +10,13 @@ from repro.core.problem import ScProblem
 from repro.graph.dag import DependencyGraph
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "random_invariants: seeded randomized ledger-invariant harness "
+        "(CI runs it as a dedicated job with a fixed seed matrix)")
+
+
 def make_fig7_problem() -> ScProblem:
     """Figure 7's toy instance.
 

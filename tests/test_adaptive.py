@@ -144,6 +144,77 @@ class TestAdaptiveController:
         assert report.total_time > 0
 
 
+class TestAdaptiveWithTieredStore:
+    """Adaptive refresh + spill + feedback in one run: the adaptive
+    controller re-plans mid-run *while* the tiered store spills, and
+    the finished trace still carries feedback-grade telemetry."""
+
+    def _spilling_setup(self, n=10, size=0.8, growth=3.0):
+        graph = chain_with_sizes({f"n{i}": size for i in range(n)})
+        truth = {v: growth * graph.size_of(v) for v in graph.nodes()}
+        return graph, truth
+
+    def _options(self, adapt=None, codec="none"):
+        from repro.engine.simulator import SimulatorOptions
+        from repro.store import SpillConfig, TierSpec
+
+        return SimulatorOptions(spill=SpillConfig(
+            tiers=(TierSpec("ssd", 2.0), TierSpec("disk")),
+            codec=codec, adapt=adapt))
+
+    def test_replans_and_spills_in_one_run(self):
+        graph, truth = self._spilling_setup()
+        controller = AdaptiveController(drift_threshold=0.25,
+                                        options=self._options())
+        report = controller.refresh(graph, truth, memory_budget=1.0)
+        assert report.n_replans >= 1
+        assert sorted(report.executed) == sorted(graph.nodes())
+        tiered = report.trace.extras["tiered_store"]
+        assert tiered["spill_count"] > 0
+        # the budget invariant survives mid-run re-planning
+        assert report.trace.peak_catalog_usage <= 1.0 + 1e-9
+
+    def test_adaptive_trace_feeds_the_planner(self):
+        from repro.feedback import CostFeedback
+        from repro.store import SpillConfig, TierSpec
+
+        graph, truth = self._spilling_setup()
+        controller = AdaptiveController(drift_threshold=0.25,
+                                        options=self._options())
+        report = controller.refresh(graph, truth, memory_budget=1.0)
+        feedback = CostFeedback.from_trace(report.trace)
+        assert feedback.spill_count > 0
+        spilled = [t for t in feedback.tiers
+                   if t.spill_write_seconds_per_gb is not None]
+        assert spilled, "no tier carried observed spill costs"
+        budget = feedback.tier_budget(
+            1.0, SpillConfig(tiers=(TierSpec("ssd", 2.0),
+                                    TierSpec("disk"))))
+        assert budget.effective_budget(sum(truth.values())) >= 1.0
+
+    def test_codec_adaptation_during_adaptive_run(self):
+        """All three loops at once: drift re-planning, spilling, and
+        mid-run codec re-pricing on an incompressible workload."""
+        from repro.store import CodecAdaptConfig
+
+        graph, truth = self._spilling_setup()
+        for node_id in graph.nodes():
+            graph.node(node_id).meta["compressibility"] = 0.0
+        controller = AdaptiveController(
+            drift_threshold=0.25,
+            options=self._options(adapt=CodecAdaptConfig(samples=1),
+                                  codec="zlib"))
+        report = controller.refresh(graph, truth, memory_budget=1.0)
+        tiered = report.trace.extras["tiered_store"]
+        assert tiered["spill_count"] > 0
+        assert tiered["observed_codec_ratio"] == pytest.approx(1.0)
+        adapt = tiered["codec_adapt"]
+        assert adapt["enabled"] is True
+        assert any(record["switched_to"] == "none"
+                   for record in adapt["tiers"].values())
+        assert sorted(report.executed) == sorted(graph.nodes())
+
+
 class TestMetadataStore:
     def test_round_trip(self, tmp_path):
         store = MetadataStore(tmp_path)

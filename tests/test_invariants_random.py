@@ -1,0 +1,290 @@
+"""Randomized invariant harness for the tiered ledger (fuzz-style).
+
+Seeded generator of random DAGs x tier configs x codecs x policies x
+feedback knobs, executed on the serial simulator *and* the parallel
+backend at ``workers=1``.  A checking subclass of ``TieredLedger`` is
+monkeypatched into both backends so that after **every public
+mutation** the core accounting invariants are re-verified in place:
+
+* RAM is charged logical bytes (``size_of == stored_size_of`` in RAM)
+  and each tier's usage equals the sum of its entries' stored bytes;
+* no ledger exceeds its budget and no balance ever goes negative;
+* ``size_of`` / ``stored_size_of`` stay consistent (stored never
+  exceeds logical — realized ratios are clamped to >= 1);
+* spill / promote counters match the demotion / promotion episodes the
+  harness independently tallies;
+* an entry is resident in exactly one tier.
+
+On top of the per-step checks, the two backends' traces must be
+bit-equal (full ``to_dict`` equality, extras included) and JSON
+round-trip losslessly.
+
+Runs under the ``random_invariants`` marker; CI gives it a dedicated
+job with a fixed seed matrix (``REPRO_INVARIANT_SEEDS``, default
+``0,1,2``).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.core.optimizer import optimize
+from repro.core.problem import ScProblem
+from repro.engine.controller import Controller
+from repro.engine.simulator import SimulatorOptions
+from repro.engine.trace import RunTrace
+from repro.store.config import CodecAdaptConfig, SpillConfig, TierSpec
+from repro.store.tiered import TieredLedger
+from repro.workloads.generator import (
+    GeneratedWorkloadConfig,
+    WorkloadGenerator,
+)
+
+SEEDS = [int(text) for text in
+         os.environ.get("REPRO_INVARIANT_SEEDS", "0,1,2").split(",")]
+
+#: random DAG/config cases drawn per seed
+CASES_PER_SEED = 5
+
+_EPS = 1e-6
+
+
+class LedgerInvariantError(AssertionError):
+    """A core accounting invariant broke mid-run."""
+
+
+class CheckedLedger(TieredLedger):
+    """TieredLedger that re-verifies the ledger invariants after every
+    public mutation, and independently tallies migration episodes."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.observed_demotions = 0
+        self.observed_promotions = 0
+        self.checks_run = 0
+
+    # -- independent episode tallies ----------------------------------
+    def _demote_locked(self, node_id, now, stored_override=None):
+        charges = super()._demote_locked(node_id, now,
+                                         stored_override=stored_override)
+        if charges is not None:
+            self.observed_demotions += 1
+        return charges
+
+    def _promote_locked(self, node_id, now):
+        charge = super()._promote_locked(node_id, now)
+        if charge is not None:
+            self.observed_promotions += 1
+        return charge
+
+    # -- per-step verification ----------------------------------------
+    def _check(self) -> None:
+        with self._lock:
+            self.checks_run += 1
+            seen: dict[str, int] = {}
+            # RAM: usage equals the sum of entry sizes, logical == stored
+            ram_sum = sum(e.size for e in self._entries.values())
+            self._expect(abs(self.usage - ram_sum - self._charged) <= _EPS,
+                         f"RAM usage {self.usage} != entry sum {ram_sum}")
+            for node_id in self._entries:
+                seen[node_id] = seen.get(node_id, 0) + 1
+                self._expect(
+                    self.size_of(node_id) == self.stored_size_of(node_id),
+                    f"RAM entry {node_id} logical != stored")
+            for index, tier in enumerate(self.tiers):
+                ledger = tier.ledger
+                self._expect(ledger.usage >= -_EPS,
+                             f"tier {tier.name} usage negative")
+                self._expect(ledger.usage <= ledger.budget + _EPS,
+                             f"tier {tier.name} over budget: "
+                             f"{ledger.usage} > {ledger.budget}")
+                if index == 0:
+                    continue
+                entries = self._tier_entries(index)
+                tier_sum = sum(ledger.size_of(n) for n in entries)
+                self._expect(abs(ledger.usage - tier_sum) <= _EPS,
+                             f"tier {tier.name} usage {ledger.usage} != "
+                             f"stored sum {tier_sum}")
+                for node_id in entries:
+                    seen[node_id] = seen.get(node_id, 0) + 1
+                    logical = self.size_of(node_id)
+                    stored = self.stored_size_of(node_id)
+                    self._expect(
+                        stored <= logical + _EPS,
+                        f"{node_id}: stored {stored} > logical {logical}")
+                    self._expect(stored >= 0.0 and logical >= 0.0,
+                                 f"{node_id}: negative size")
+            for node_id, count in seen.items():
+                self._expect(count == 1,
+                             f"{node_id} resident in {count} tiers")
+            # counters: monotone, non-negative, episode-consistent
+            # (prefetch promotions count on the prefetch counter, not
+            # promote_count — together they cover every up-move)
+            self._expect(
+                self.spill_count == self.observed_demotions,
+                f"spill_count {self.spill_count} != observed demotion "
+                f"episodes {self.observed_demotions}")
+            self._expect(
+                self.promote_count + self.prefetch_count
+                == self.observed_promotions,
+                f"promote_count {self.promote_count} + prefetch_count "
+                f"{self.prefetch_count} != observed promotion episodes "
+                f"{self.observed_promotions}")
+            for name in ("spill_bytes", "promote_bytes",
+                         "spill_stored_bytes", "prefetch_bytes",
+                         "prefetch_hidden_seconds", "stall_seconds",
+                         "avoided_spill_seconds"):
+                self._expect(getattr(self, name) >= 0.0,
+                             f"{name} went negative")
+
+    @staticmethod
+    def _expect(condition: bool, message: str) -> None:
+        if not condition:
+            raise LedgerInvariantError(message)
+
+
+def _checked(method_name):
+    """Wrap a public mutator so every call ends in a full check."""
+    original = getattr(TieredLedger, method_name)
+
+    def wrapper(self, *args, **kwargs):
+        result = original(self, *args, **kwargs)
+        self._check()
+        return result
+
+    wrapper.__name__ = method_name
+    return wrapper
+
+
+for _name in ("demote", "promote", "prefetch", "try_make_room",
+              "insert", "consumer_done", "materialized",
+              "force_release", "adopt"):
+    setattr(CheckedLedger, _name, _checked(_name))
+
+
+# spill_insert's direct-placement path increments spill_count without a
+# _demote_locked call; observe it by diffing around the original body
+_original_spill_insert = TieredLedger.spill_insert
+
+
+def _spill_insert_checked(self, *args, **kwargs):
+    before = self.spill_count - self.observed_demotions
+    result = _original_spill_insert(self, *args, **kwargs)
+    tier_idx, _ = result
+    if tier_idx > 0:
+        self.observed_demotions += 1  # direct placement episode
+    drift = (self.spill_count - self.observed_demotions) - before
+    if drift:
+        raise LedgerInvariantError(
+            f"spill_insert changed spill_count by an unobserved "
+            f"{drift} episodes")
+    self._check()
+    return result
+
+
+CheckedLedger.spill_insert = _spill_insert_checked
+
+
+def _random_case(rng: random.Random):
+    """One random (graph, plan, ram, SpillConfig) scenario."""
+    n_nodes = rng.choice([12, 18, 24])
+    graph = WorkloadGenerator().generate(
+        GeneratedWorkloadConfig(
+            n_nodes=n_nodes,
+            height_width_ratio=rng.choice([0.5, 1.0, 2.0])),
+        seed=rng.randrange(10_000))
+    codec = rng.choice(["none", "zlib"])
+    if codec != "none" and rng.random() < 0.7:
+        for node_id in graph.nodes():
+            graph.node(node_id).meta["compressibility"] = rng.choice(
+                [0.0, 0.3, 1.0, 2.0])
+    budget = rng.uniform(0.2, 0.4) * graph.total_size()
+    plan = optimize(ScProblem(graph=graph, memory_budget=budget),
+                    method="sc", seed=rng.randrange(100)).plan
+    peak = Controller().refresh(
+        graph, budget, plan=plan, method="sc").peak_catalog_usage
+    if peak <= 0:
+        return None
+    ram = rng.uniform(0.25, 0.8) * peak
+    tiers = [TierSpec("ssd", rng.uniform(0.3, 0.8) * peak)]
+    if rng.random() < 0.8:
+        tiers.append(TierSpec(
+            "disk",
+            codec=rng.choice([None, "none", "zlib"])))
+    else:
+        tiers[0] = TierSpec("ssd")  # single unbounded tier
+    spill = SpillConfig(
+        tiers=tuple(tiers),
+        policy=rng.choice(["cost", "lru", "largest"]),
+        promote=rng.random() < 0.8,
+        arbitrate=rng.random() < 0.8,
+        codec=codec,
+        prefetch=rng.random() < 0.5,
+        adapt=(CodecAdaptConfig(samples=rng.choice([1, 2, 4]),
+                                threshold=rng.choice([0.1, 0.25]))
+               if rng.random() < 0.5 else None))
+    return graph, plan, ram, spill
+
+
+@pytest.mark.random_invariants
+@pytest.mark.parametrize("seed", SEEDS)
+def test_randomized_ledger_invariants(seed, monkeypatch):
+    """Random scenarios: per-step ledger invariants hold on both
+    backends and the serial / ``workers=1`` traces stay bit-equal."""
+    monkeypatch.setattr("repro.store.tiered.TieredLedger", CheckedLedger)
+    rng = random.Random(seed)
+    cases = spills = 0
+    while cases < CASES_PER_SEED:
+        case = _random_case(rng)
+        if case is None:
+            continue
+        graph, plan, ram, spill = case
+        cases += 1
+        controller = Controller(options=SimulatorOptions(spill=spill))
+        serial = controller.refresh(graph, ram, plan=plan, method="sc")
+        workers1 = controller.refresh(graph, ram, plan=plan, method="sc",
+                                      backend="parallel", workers=1)
+        # zero invariant violations is implicit (a violation raises);
+        # make sure the checker actually ran, and ran on both backends
+        assert serial.extras["tiered_store"] is not None
+        spills += serial.extras["tiered_store"]["spill_count"]
+        # bit-equal traces, every field and every extras key
+        assert serial.to_dict() == workers1.to_dict()
+        # lossless JSON round-trip on a randomized trace
+        assert RunTrace.from_json(serial.to_json()).to_dict() \
+            == serial.to_dict()
+    assert cases == CASES_PER_SEED
+    assert spills > 0, "random scenarios never spilled; harness too weak"
+
+
+@pytest.mark.random_invariants
+@pytest.mark.parametrize("seed", SEEDS)
+def test_checked_ledger_actually_checks(seed, monkeypatch):
+    """Meta-test: the harness's checker runs and can fail.
+
+    Guards against the monkeypatch silently stopping to bite (e.g. a
+    backend importing the ledger differently), which would turn the
+    whole harness into a vacuous pass.
+    """
+    monkeypatch.setattr("repro.store.tiered.TieredLedger", CheckedLedger)
+    rng = random.Random(seed)
+    case = None
+    while case is None:
+        case = _random_case(rng)
+    graph, plan, ram, spill = case
+    simulator_options = SimulatorOptions(spill=spill)
+    from repro.engine.simulator import RefreshSimulator
+
+    state = RefreshSimulator(options=simulator_options).begin(
+        ram, graph=graph)
+    ledger = state.catalog
+    assert isinstance(ledger, CheckedLedger)
+    ledger.insert("probe", min(ram, 1.0), n_consumers=1)
+    assert ledger.checks_run > 0
+    # corrupt the accounting behind the checker's back: must raise
+    ledger._usage += 17.0
+    with pytest.raises(LedgerInvariantError):
+        ledger._check()
