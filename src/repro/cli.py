@@ -21,8 +21,17 @@ Subcommands:
   ``spillcodec``/``feedback`` sweeps).
 * ``minidb`` — refresh a demo SQL workload on the real MiniDB backend;
   ``--spill-dir`` arms real spill-to-disk (``--spill-codec zlib``
-  compresses the dumps for real) and ``--plan-tiers`` plans tier-aware
-  against it.
+  compresses the dumps for real), ``--ram-compressed GB`` inserts the
+  compressed-in-RAM rung between the catalog and the disk tier
+  (victims are encoded in memory, reads decode lazily), and
+  ``--plan-tiers`` plans tier-aware against it.
+
+``simulate`` and ``minidb`` both accept ``--profile PATH`` to dump a
+cProfile of the whole run for offline analysis (``python -m pstats``).
+The simulated tier stack accepts the same rung as a first tier:
+``--tier ram-compressed:2 --tier ssd:8`` prices demotions at encode
+cost only (no device transfer) and defaults the rung codec to the
+fast ``zlib1`` preset.
 """
 
 from __future__ import annotations
@@ -45,6 +54,7 @@ from repro.store.config import (
     CodecAdaptConfig,
     SpillConfig,
     parse_tier,
+    resolve_codec,
 )
 from repro.store.policy import policy_help, policy_names
 from repro.workloads.five_workloads import WORKLOAD_NAMES, build_workload
@@ -66,6 +76,7 @@ _EXPERIMENTS = {
     "spillplan": experiments.spill_planning_sweep,
     "spillcodec": experiments.compressed_spill_sweep,
     "feedback": experiments.feedback_loop_sweep,
+    "ramcodec": experiments.ram_compression_sweep,
 }
 
 
@@ -162,6 +173,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             "--tier)")
     p_sim.add_argument("--gantt", action="store_true",
                        help="print an ASCII execution timeline")
+    p_sim.add_argument("--profile", metavar="PATH",
+                       help="dump a cProfile of the whole run to PATH "
+                            "(inspect with python -m pstats)")
 
     p_wl = sub.add_parser("workload",
                           help="emit one of the paper's workloads")
@@ -181,7 +195,9 @@ def _build_parser() -> argparse.ArgumentParser:
                               "'spillcodec' sweeps spill codec x "
                               "prefetch below the peak; 'feedback' "
                               "measures observed-cost replanning and "
-                              "the adaptive codec")
+                              "the adaptive codec; 'ramcodec' sweeps "
+                              "the compressed-in-RAM rung against "
+                              "uncompressed RAM and straight-to-SSD")
 
     p_db = sub.add_parser(
         "minidb", help="refresh a demo SQL workload on the real MiniDB")
@@ -194,6 +210,14 @@ def _build_parser() -> argparse.ArgumentParser:
                            "temporary directory)")
     p_db.add_argument("--spill-dir",
                       help="arm real spill-to-disk into this directory")
+    p_db.add_argument("--ram-compressed", type=float, default=0.0,
+                      metavar="GB",
+                      help="insert a compressed-in-RAM rung of this many "
+                           "GB (of stored, compressed bytes) between the "
+                           "catalog and the disk tier: victims are "
+                           "encoded in memory (default codec zlib1) and "
+                           "decoded lazily on first read; requires "
+                           "--spill-dir for the overflow tier")
     p_db.add_argument("--spill-policy", default="cost",
                       choices=sorted(policy_names()),
                       help=f"victim-selection policy for spilling — "
@@ -219,6 +243,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p_db.add_argument("--method", default="sc",
                       choices=sorted(OPTIMIZER_METHODS))
     p_db.add_argument("--seed", type=int, default=0)
+    p_db.add_argument("--profile", metavar="PATH",
+                      help="dump a cProfile of the whole run to PATH "
+                           "(inspect with python -m pstats)")
 
     p_exp = sub.add_parser(
         "explain", help="explain a plan's flag decisions node by node")
@@ -285,8 +312,12 @@ def _spill_setup(args) -> tuple[float, SpillConfig | None]:
         return memory, None
     adapt = (CodecAdaptConfig(samples=args.adapt_samples)
              if args.adaptive_codec else None)
-    if adapt is not None and args.spill_codec == "none" and not any(
-            spec.codec is not None and spec.codec.ratio > 1.0
+    # the rung counts: a ram-compressed tier defaults to zlib1 even
+    # without an explicit codec, so resolve per-tier before deciding
+    # that there is "nothing to adapt"
+    config_default = resolve_codec(args.spill_codec)
+    if adapt is not None and not any(
+            spec.resolved_codec(config_default).ratio > 1.0
             for spec in lower):
         raise ValidationError(
             "--adaptive-codec has nothing to adapt: every tier stores "
@@ -510,6 +541,7 @@ def _run_minidb(args, data_dir: str):
     profiled = workload.profile()
     adapt = CodecAdaptConfig() if args.adaptive_codec else None
     controller = Controller(spill_dir=args.spill_dir,
+                            ram_compressed_gb=args.ram_compressed,
                             spill=SpillConfig(policy=args.spill_policy,
                                               codec=args.spill_codec,
                                               adapt=adapt))
@@ -530,9 +562,18 @@ def _cmd_minidb(args) -> int:
               "(the extra flags would degrade to blocking writes)",
               file=sys.stderr)
         return 2
-    if args.adaptive_codec and args.spill_codec == "none":
+    if args.ram_compressed and not args.spill_dir:
+        print("repro-sc minidb: error: --ram-compressed needs "
+              "--spill-dir (the rung overflows into the disk tier)",
+              file=sys.stderr)
+        return 2
+    # a rung always has a codec (default zlib1), so with --ram-compressed
+    # there is something to adapt even under --spill-codec none
+    if (args.adaptive_codec and args.spill_codec == "none"
+            and not args.ram_compressed):
         print("repro-sc minidb: error: --adaptive-codec has nothing to "
-              "adapt with --spill-codec none; add --spill-codec zlib",
+              "adapt with --spill-codec none; add --spill-codec zlib "
+              "or arm the rung with --ram-compressed",
               file=sys.stderr)
         return 2
     if args.adaptive_codec and not args.spill_dir:
@@ -602,7 +643,22 @@ def main(argv: list[str] | None = None) -> int:
         "explain": _cmd_explain,
         "pipeline": _cmd_pipeline,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    profile_path = getattr(args, "profile", None)
+    if not profile_path:
+        return handler(args)
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        status = handler(args)
+    finally:
+        profiler.disable()
+        profiler.dump_stats(profile_path)
+        print(f"profile:           {profile_path} "
+              f"(python -m pstats {profile_path})", file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,172 @@
+"""Real columnar-aware table codecs (in-memory blobs).
+
+MiniDB tables are plain numpy column dicts (:class:`repro.db.table.Table`),
+which makes layout-aware encoding cheap and genuinely effective: a
+star-schema intermediate is mostly low-cardinality dimension keys (a
+dictionary's worth of distinct values repeated millions of times) and
+monotone-ish sequence columns (delta-encoding leaves small residuals a
+byte compressor crushes).  Generic deflate over the raw column bytes
+cannot see either structure; the ``columnar`` codec here encodes it away
+*before* the byte compressor runs (cf. the layout-aware encodings of
+*Optimised Storage for Datalog Reasoning*).
+
+The blob format is self-describing — magic, JSON header (column names,
+dtypes, per-column encoding, payload offsets), then the payload bytes —
+so :func:`decode_table` needs nothing but the blob.  Four codecs map to
+the :data:`~repro.store.config.SPILL_CODECS` presets:
+
+* ``none`` — raw column bytes, no compression (framing only);
+* ``zlib`` — raw column bytes, deflate level 6;
+* ``zlib1`` — raw column bytes, deflate level 1 (the fast preset the
+  compressed-in-RAM rung defaults to);
+* ``columnar`` — per-column dictionary/delta pre-encoding, then
+  deflate level 1.
+
+These run for real in the MiniDB backend: a demotion into the
+``ram-compressed`` rung calls :func:`encode_table` and keeps the blob in
+memory, a read-back calls :func:`decode_table` lazily, and the measured
+blob sizes feed the ledger's observed-ratio telemetry and the adaptive
+codec loop.  Simulated backends charge the corresponding
+:class:`~repro.store.config.CodecProfile` presets instead.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+
+import numpy as np
+
+from repro.db.table import Table
+from repro.errors import ExecutionError, ValidationError
+
+#: Blob magic: "repro columnar blob, format 1".
+MAGIC = b"RCB1"
+
+_LEVELS = {"none": None, "zlib": 6, "zlib1": 1, "columnar": 1}
+
+#: Dictionary encoding pays off while the distinct values fit a narrow
+#: code array; past this many distinct values fall back to delta/raw.
+_DICT_MAX_CARDINALITY = 65536
+
+
+def codec_names() -> tuple[str, ...]:
+    """Codec names :func:`encode_table` accepts."""
+    return tuple(sorted(_LEVELS))
+
+
+def is_blob(data: bytes) -> bool:
+    """True when ``data`` starts with the blob magic."""
+    return data[: len(MAGIC)] == MAGIC
+
+
+def _compress(payload: bytes, level: int | None) -> bytes:
+    if level is None:
+        return payload
+    return zlib.compress(payload, level)
+
+
+def _decompress(payload: bytes, level: int | None) -> bytes:
+    if level is None:
+        return payload
+    return zlib.decompress(payload)
+
+
+def _code_dtype(cardinality: int) -> np.dtype:
+    if cardinality <= 1 << 8:
+        return np.dtype(np.uint8)
+    if cardinality <= 1 << 16:
+        return np.dtype(np.uint16)
+    return np.dtype(np.uint32)
+
+
+def _encode_column(column: np.ndarray, codec: str) -> tuple[dict, list[bytes]]:
+    """Encode one column; returns (header entry, payload chunks)."""
+    level = _LEVELS[codec]
+    entry: dict = {"dtype": column.dtype.str}
+    if codec == "columnar" and column.size:
+        values, codes = np.unique(column, return_inverse=True)
+        if (values.size <= _DICT_MAX_CARDINALITY
+                and values.size * 2 <= column.size):
+            # dictionary: distinct values + narrow per-row codes
+            codes = codes.astype(_code_dtype(values.size), copy=False)
+            entry["encoding"] = "dict"
+            entry["code_dtype"] = codes.dtype.str
+            chunks = [_compress(values.tobytes(), level),
+                      _compress(codes.tobytes(), level)]
+            entry["lengths"] = [len(chunk) for chunk in chunks]
+            return entry, chunks
+        if column.dtype.kind in "iu":
+            # delta: residuals of near-sorted keys deflate far better
+            # than the raw values (wraparound on overflow is lossless —
+            # cumsum with the same dtype wraps back)
+            deltas = np.empty_like(column)
+            deltas[0] = column[0]
+            np.subtract(column[1:], column[:-1], out=deltas[1:])
+            entry["encoding"] = "delta"
+            chunk = _compress(deltas.tobytes(), level)
+            entry["lengths"] = [len(chunk)]
+            return entry, [chunk]
+    entry["encoding"] = "raw"
+    chunk = _compress(column.tobytes(), level)
+    entry["lengths"] = [len(chunk)]
+    return entry, [chunk]
+
+
+def _decode_column(entry: dict, chunks: list[bytes], codec: str,
+                   length: int) -> np.ndarray:
+    level = _LEVELS[codec]
+    dtype = np.dtype(entry["dtype"])
+    encoding = entry["encoding"]
+    if encoding == "dict":
+        values = np.frombuffer(_decompress(chunks[0], level), dtype=dtype)
+        codes = np.frombuffer(_decompress(chunks[1], level),
+                              dtype=np.dtype(entry["code_dtype"]))
+        return values[codes]
+    data = np.frombuffer(_decompress(chunks[0], level), dtype=dtype)
+    if encoding == "delta":
+        with np.errstate(over="ignore"):
+            return np.cumsum(data, dtype=dtype)
+    if encoding != "raw":
+        raise ExecutionError(f"unknown column encoding {encoding!r}")
+    return data.copy() if length else data
+
+
+def encode_table(table: Table, codec: str = "zlib1") -> bytes:
+    """Serialize ``table`` into a self-describing compressed blob."""
+    if codec not in _LEVELS:
+        raise ValidationError(
+            f"unknown table codec {codec!r}; choose from {codec_names()}")
+    header: dict = {"codec": codec, "length": len(table), "columns": []}
+    payloads: list[bytes] = []
+    for name, column in table.columns().items():
+        entry, chunks = _encode_column(np.ascontiguousarray(column), codec)
+        entry["name"] = name
+        header["columns"].append(entry)
+        payloads.extend(chunks)
+    meta = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return b"".join([MAGIC, struct.pack(">I", len(meta)), meta, *payloads])
+
+
+def decode_table(blob: bytes) -> Table:
+    """Inverse of :func:`encode_table`."""
+    if not is_blob(blob):
+        raise ExecutionError("not a columnar blob (bad magic)")
+    offset = len(MAGIC)
+    (meta_len,) = struct.unpack_from(">I", blob, offset)
+    offset += 4
+    header = json.loads(blob[offset:offset + meta_len].decode("utf-8"))
+    offset += meta_len
+    codec = header["codec"]
+    if codec not in _LEVELS:
+        raise ExecutionError(f"blob written with unknown codec {codec!r}")
+    columns: dict[str, np.ndarray] = {}
+    for entry in header["columns"]:
+        chunks = []
+        for length in entry["lengths"]:
+            chunks.append(blob[offset:offset + length])
+            offset += length
+        columns[entry["name"]] = _decode_column(entry, chunks, codec,
+                                                header["length"])
+    return Table(columns)

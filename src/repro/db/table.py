@@ -35,6 +35,7 @@ class Table:
                     f"{length}")
             self._columns[name] = array
         self._length = length or 0
+        self._nbytes: int | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -75,8 +76,17 @@ class Table:
 
     @property
     def nbytes(self) -> int:
-        """In-memory footprint of all column buffers."""
-        return int(sum(col.nbytes for col in self._columns.values()))
+        """In-memory footprint of all column buffers.
+
+        Computed once and cached — this sits on the ledger's admission
+        hot path, and columns never change after construction
+        (``with_column`` / ``rename`` build a *new* table, whose cache
+        starts empty, so the cache can never go stale).
+        """
+        if self._nbytes is None:
+            self._nbytes = int(sum(col.nbytes
+                                   for col in self._columns.values()))
+        return self._nbytes
 
     @property
     def size_gb(self) -> float:

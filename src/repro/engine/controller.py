@@ -35,7 +35,7 @@ from repro.errors import ValidationError
 from repro.exec.base import create_backend
 from repro.graph.dag import DependencyGraph
 from repro.metadata.costmodel import DeviceProfile
-from repro.store.config import SpillConfig, TierSpec
+from repro.store.config import RAM_COMPRESSED, SpillConfig, TierSpec
 
 
 @dataclass
@@ -52,6 +52,9 @@ class Controller:
             spill/promote counts surface in ``RunTrace.extras``).
         spill_dir: optional directory arming *real* spill-to-disk on the
             MiniDB backend (:meth:`refresh_on_minidb`).
+        ram_compressed_gb: optional budget (GB of compressed bytes)
+            arming a *real* compressed-in-RAM rung between RAM and the
+            spill disk on the MiniDB backend; needs ``spill_dir``.
     """
 
     profile: DeviceProfile = field(default_factory=DeviceProfile)
@@ -60,6 +63,7 @@ class Controller:
     workers: int = 1
     spill: SpillConfig | None = None
     spill_dir: str | None = None
+    ram_compressed_gb: float = 0.0
 
     def _effective_options(self) -> SimulatorOptions:
         if self.spill is None:
@@ -236,14 +240,19 @@ class Controller:
         """Tier-aware budget matching the MiniDB backend's spill tier.
 
         The MiniDB executor spills into one unbounded ``"spill-disk"``
-        tier under ``spill_dir``; this prices exactly that hierarchy —
-        including the controller's spill codec, so compressed dumps
-        raise the tier's effective capacity and add their encode/decode
-        cost — so a tier-aware plan anticipates the real run's storage
-        layout.
+        tier under ``spill_dir`` — preceded by a finite
+        ``ram-compressed`` rung when :attr:`ram_compressed_gb` arms one;
+        this prices exactly that hierarchy — including the controller's
+        spill codec, so compressed dumps raise the tier's effective
+        capacity and add their encode/decode cost — so a tier-aware
+        plan anticipates the real run's storage layout.
         """
+        tiers: tuple[TierSpec, ...] = (TierSpec("spill-disk"),)
+        if self.ram_compressed_gb > 0:
+            tiers = (TierSpec(RAM_COMPRESSED,
+                              self.ram_compressed_gb),) + tiers
         spill = SpillConfig(
-            tiers=(TierSpec("spill-disk"),),
+            tiers=tiers,
             policy=self.spill.policy if self.spill else "cost",
             codec=self.spill.codec if self.spill else "none")
         return TierAwareBudget.from_spill(memory_budget, spill,
@@ -268,7 +277,9 @@ class Controller:
     def refresh_on_minidb(self, workload, memory_budget: float,
                           method: str = "sc", seed: int = 0,
                           plan: Plan | None = None,
-                          tier_aware: bool = False) -> RunTrace:
+                          tier_aware: bool = False,
+                          ram_compressed_gb: float | None = None,
+                          ) -> RunTrace:
         """Execute a SQL workload on the real MiniDB backend.
 
         ``workload`` is a :class:`repro.db.engine.SqlWorkload` — a MiniDB
@@ -290,6 +301,9 @@ class Controller:
             tier_aware: when optimizing here, price flagging against
                 the MiniDB spill tier (:meth:`minidb_tier_budget`);
                 requires ``spill_dir`` so the run can honor the flags.
+            ram_compressed_gb: per-call override of the controller's
+                compressed-in-RAM rung budget (``None`` uses
+                :attr:`ram_compressed_gb`; requires ``spill_dir``).
 
         Returns:
             The run's wall-clock :class:`~repro.engine.trace.RunTrace`.
@@ -303,6 +317,12 @@ class Controller:
                 "tier-aware MiniDB planning needs spill_dir armed; the "
                 "plan's extra flags would otherwise degrade to blocking "
                 "writes")
+        rung_gb = (self.ram_compressed_gb if ram_compressed_gb is None
+                   else ram_compressed_gb)
+        if rung_gb > 0 and not self.spill_dir:
+            raise ValidationError(
+                "ram_compressed_gb needs spill_dir armed — the rung "
+                "cascades its victims into the spill directory")
         if plan is None:
             plan = self.plan_for_minidb(graph, memory_budget,
                                         method=method, seed=seed,
@@ -317,6 +337,7 @@ class Controller:
                                     else "none")
             extra["spill_adapt"] = (self.spill.adapt if self.spill
                                     else None)
+            extra["ram_compressed_gb"] = rung_gb
         executor = create_backend(  # lazy import: optional numpy dep
             "minidb", profile=self.profile, options=self.options,
             seed=seed, workload=workload, **extra)

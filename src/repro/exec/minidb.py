@@ -38,6 +38,18 @@ real dumps the ledger compares the realized compression against the
 codec preset and, when the observed saving no longer covers the codec
 tax, drops the codec for the rest of the run — later victims dump raw
 (``extras["tiered_store"]["codec_adapt"]`` logs the decision).
+
+``ram_compressed_gb=<GB>`` inserts a *real* compressed-in-RAM rung
+between RAM and the spill disk: a victim is encoded into an in-memory
+blob (:mod:`repro.db.columnar_codec`, default codec ``zlib1``) and the
+rung's budget is charged the measured blob bytes — no file I/O at all.
+Reads decode the blob lazily; when the rung itself fills, its
+policy-ranked victims cascade to the spill directory (the
+already-encoded blob is written verbatim — the dump format is
+self-describing, so ``read_table`` sniffs it back).  Measured encode/
+decode/dump wall clocks land per tier via
+``TieredLedger.record_wall_seconds`` and feed the planner's feedback
+loop exactly like simulated charges.
 """
 
 from __future__ import annotations
@@ -79,6 +91,17 @@ class _MiniDbState:
     evicted: set[str] = field(default_factory=set)
     spill_dir: str | None = None
     spill_files: set[str] = field(default_factory=set)
+    # compressed-in-RAM rung (ram_compressed_gb extra): encoded blobs of
+    # rung-resident tables.  A blob outlives a promotion back to RAM —
+    # tables are immutable, so a re-spill reuses it without re-encoding
+    # (the in-memory twin of the spill_files reuse rule).
+    ram_rung_gb: float = 0.0
+    blobs: dict[str, bytes] = field(default_factory=dict)
+
+    @property
+    def device_tier(self) -> int:
+        """Ledger index of the on-disk spill tier."""
+        return 2 if self.ram_rung_gb > 0 else 1
 
 
 @register_backend
@@ -101,15 +124,27 @@ class MiniDbBackend(ExecutionBackend):
         if missing:
             raise ExecutionError(f"plan mentions unknown MVs: {missing[:5]}")
         spill_dir = self.extra.get("spill_dir")
+        rung_gb = float(self.extra.get("ram_compressed_gb") or 0.0)
+        if rung_gb > 0 and not spill_dir:
+            raise ValidationError(
+                "ram_compressed_gb needs spill_dir=<path> as well — the "
+                "rung cascades its victims into the spill directory")
         if spill_dir:
             import os
 
-            from repro.store.config import SpillConfig, TierSpec
+            from repro.store.config import (
+                RAM_COMPRESSED,
+                SpillConfig,
+                TierSpec,
+            )
             from repro.store.tiered import TieredLedger
 
             os.makedirs(spill_dir, exist_ok=True)
+            tiers = (TierSpec("spill-disk"),)
+            if rung_gb > 0:
+                tiers = (TierSpec(RAM_COMPRESSED, rung_gb),) + tiers
             config = SpillConfig(
-                tiers=(TierSpec("spill-disk"),),
+                tiers=tiers,
                 policy=self.extra.get("spill_policy", "cost"),
                 codec=self.extra.get("spill_codec", "none"),
                 adapt=self.extra.get("spill_adapt"))
@@ -121,7 +156,8 @@ class MiniDbBackend(ExecutionBackend):
             ledger = MemoryLedger(budget=memory_budget)
         state = _MiniDbState(by_name=by_name,
                              run_started=time.perf_counter(),
-                             spill_dir=spill_dir)
+                             spill_dir=spill_dir,
+                             ram_rung_gb=rung_gb)
         return ExecutionContext(graph=graph, plan=plan,
                                 memory_budget=memory_budget, method=method,
                                 ledger=ledger,
@@ -191,6 +227,7 @@ class MiniDbBackend(ExecutionBackend):
         if node_id in ctx.ledger:  # force-eviction path (cleanup)
             ctx.ledger.force_release(node_id)
         state.evicted.add(node_id)
+        state.blobs.pop(node_id, None)
         db = self.extra["workload"].db
         if db.catalog.in_memory(node_id):
             db.release_memory(node_id)
@@ -284,54 +321,174 @@ class MiniDbBackend(ExecutionBackend):
     # ------------------------------------------------------------------
     def _spill_one(self, ctx: ExecutionContext, trace: NodeTrace,
                    protect: frozenset = frozenset()) -> bool:
-        """Evict one policy-ranked victim from RAM to the spill tier.
+        """Evict one policy-ranked victim from RAM one rung down.
 
         A victim whose background write already drained is free to drop
-        (its durable copy serves later readers; the spill tier is
-        charged zero bytes); otherwise the table is dumped into the
-        spill directory first — compressed for real when the spill
+        (its durable copy serves later readers; the next tier is charged
+        zero bytes).  Without a ram-compressed rung the victim is dumped
+        into the spill directory — compressed for real when the spill
         codec asks for it — and the tier is charged the *measured*
-        on-disk bytes of the dump.  Returns False when RAM holds no
-        spillable entry outside ``protect``.
+        on-disk bytes.  With the rung armed the victim is encoded into
+        an in-memory blob instead (no file I/O); the rung's own victims
+        are cascaded to disk *first* so the ledger never has to move
+        accounting whose bytes this backend did not move, and a blob the
+        rung can never host (bigger compressed than the whole rung)
+        passes straight through to a disk dump.  Returns False when RAM
+        holds no spillable entry outside ``protect``.
         """
+        from repro.store.tiered import TieredLedger
+
+        state: _MiniDbState = ctx.payload
+        db = self.extra["workload"].db
+        ledger: TieredLedger = ctx.ledger
+        victim = ledger.pick_victim(exclude=protect)
+        if victim is None:
+            return False
+        started = time.perf_counter()
+        if db.catalog.persisted(victim):
+            # the durable warehouse copy serves readers: charge nothing,
+            # wherever in the hierarchy the accounting lands
+            db.release_memory(victim)
+            ledger.demote(victim, stored_size=0.0)
+        elif state.ram_rung_gb > 0:
+            self._spill_into_rung(ctx, victim, protect)
+        else:
+            stored_gb = self._dump_table(ctx, victim)
+            db.release_memory(victim)
+            ledger.demote(victim, stored_size=stored_gb)
+        trace.spill_write += time.perf_counter() - started
+        return True
+
+    def _spill_into_rung(self, ctx: ExecutionContext, victim: str,
+                         protect: frozenset) -> None:
+        """Encode ``victim`` into the compressed-in-RAM rung (tier 1)."""
+        from repro.db import columnar_codec
+
+        state: _MiniDbState = ctx.payload
+        db = self.extra["workload"].db
+        blob = state.blobs.get(victim)
+        if blob is None:
+            # mid-run adaptation may have switched the rung's codec:
+            # encode with the *current* one
+            codec = ctx.ledger.current_codec(1).name
+            encode_started = time.perf_counter()
+            blob = columnar_codec.encode_table(
+                db.catalog.get_memory(victim), codec)
+            ctx.ledger.record_wall_seconds(
+                1, spill_seconds=time.perf_counter() - encode_started,
+                spill_gb=ctx.ledger.size_of(victim))
+            state.blobs[victim] = blob
+        stored_gb = len(blob) / _GB
+        if self._free_rung(ctx, stored_gb, protect):
+            db.release_memory(victim)
+            ctx.ledger.demote(victim, stored_size=stored_gb)
+            return
+        # compressed bigger than the whole rung (or everything left in
+        # it is protected): pass through — dump the already-encoded
+        # blob to disk and walk the accounting down both rungs
+        state.blobs.pop(victim, None)
+        stored_gb = self._dump_blob(ctx, victim, blob)
+        db.release_memory(victim)
+        ctx.ledger.demote(victim, stored_size=0.0)
+        ctx.ledger.demote(victim, stored_size=stored_gb)
+
+    def _free_rung(self, ctx: ExecutionContext, stored_gb: float,
+                   protect: frozenset) -> bool:
+        """Cascade rung victims to disk until ``stored_gb`` fits tier 1.
+
+        The real-bytes twin of the ledger's internal ``_make_room``:
+        every accounting demotion out of the rung is preceded by an
+        actual dump of the victim's blob into the spill directory (or
+        nothing, for victims whose durable copy already serves).
+        """
+        from repro.errors import CatalogError
+
+        state: _MiniDbState = ctx.payload
+        db = self.extra["workload"].db
+        rung = ctx.ledger.tiers[1].ledger
+        if stored_gb > rung.budget:
+            return False
+        while not rung.fits(stored_gb):
+            victim = ctx.ledger.pick_victim(exclude=protect, tier=1)
+            if victim is None:
+                return False
+            blob = state.blobs.pop(victim, None)
+            if db.catalog.persisted(victim):
+                stored = 0.0  # durable copy serves readers
+            elif blob is None:
+                raise CatalogError(
+                    f"rung entry {victim!r} has neither a blob nor a "
+                    f"durable copy")
+            else:
+                stored = self._dump_blob(ctx, victim, blob)
+            ctx.ledger.demote(victim, stored_size=stored)
+        return True
+
+    def _dump_table(self, ctx: ExecutionContext, victim: str) -> float:
+        """Dump a RAM-resident table into the spill directory; returns
+        the measured stored GB (0.0 reuses an earlier still-valid copy's
+        size — tables are immutable)."""
         from repro.db import storage_format
 
         state: _MiniDbState = ctx.payload
         db = self.extra["workload"].db
-        victim = ctx.ledger.pick_victim(exclude=protect)
-        if victim is None:
-            return False
-        # mid-run adaptation may have dropped the codec: consult the
-        # spill tier's *current* codec, not the configured preset
-        compress = ctx.ledger.current_codec(1).name != "none"
-        started = time.perf_counter()
-        if db.catalog.persisted(victim):
-            stored_gb = 0.0  # the durable warehouse copy serves readers
-        elif victim in state.spill_files:
-            # tables are immutable: an earlier spill copy stays valid
-            stored_gb = storage_format.on_disk_size(
+        if victim in state.spill_files:
+            return storage_format.on_disk_size(
                 state.spill_dir, victim) / _GB
+        # mid-run adaptation may have dropped the codec: consult the
+        # disk tier's *current* codec, not the configured preset
+        codec = ctx.ledger.current_codec(state.device_tier).name
+        table = db.catalog.get_memory(victim)
+        started = time.perf_counter()
+        if codec in ("zlib1", "columnar"):
+            stored = storage_format.write_table(
+                table, state.spill_dir, victim, codec=codec)
         else:
-            table = db.catalog.get_memory(victim)
-            stored_gb = storage_format.write_table(
-                table, state.spill_dir, victim, compress=compress) / _GB
-            state.spill_files.add(victim)
-        db.release_memory(victim)
-        ctx.ledger.demote(victim, stored_size=stored_gb)
-        trace.spill_write += time.perf_counter() - started
-        return True
+            stored = storage_format.write_table(
+                table, state.spill_dir, victim,
+                compress=codec != "none")
+        ctx.ledger.record_wall_seconds(
+            state.device_tier,
+            spill_seconds=time.perf_counter() - started,
+            spill_gb=ctx.ledger.size_of(victim))
+        state.spill_files.add(victim)
+        return stored / _GB
+
+    def _dump_blob(self, ctx: ExecutionContext, victim: str,
+                   blob: bytes) -> float:
+        """Write an already-encoded rung blob into the spill directory
+        verbatim (the blob format is self-describing, so ``read_table``
+        sniffs it back); returns the measured stored GB."""
+        from repro.db import storage_format
+
+        state: _MiniDbState = ctx.payload
+        if victim in state.spill_files:  # immutable: earlier copy valid
+            return storage_format.on_disk_size(
+                state.spill_dir, victim) / _GB
+        started = time.perf_counter()
+        path = storage_format.table_path(state.spill_dir, victim)
+        with open(path, "wb") as handle:
+            handle.write(blob)
+        ctx.ledger.record_wall_seconds(
+            state.device_tier,
+            spill_seconds=time.perf_counter() - started,
+            spill_gb=ctx.ledger.size_of(victim))
+        state.spill_files.add(victim)
+        return len(blob) / _GB
 
     def _stage_spilled_parents(self, ctx: ExecutionContext, node_id: str,
                                trace: NodeTrace) -> None:
         """Make every spilled parent of ``node_id`` readable again.
 
         Durable parents need nothing — the query resolver reads the
-        warehouse copy.  A parent that exists only in the spill
-        directory is read back and promoted into RAM (spilling other
-        victims to make room); when even that is impossible, the
+        warehouse copy.  A parent held in the compressed-in-RAM rung is
+        decoded *lazily* here — its blob was never touched until this
+        consumer actually needed the rows.  A parent that exists only in
+        the spill directory is read back and promoted into RAM (spilling
+        other victims to make room); when even that is impossible, the
         parent's background write is joined so a durable copy exists.
         """
-        from repro.db import storage_format
+        from repro.db import columnar_codec, storage_format
 
         state: _MiniDbState = ctx.payload
         db = self.extra["workload"].db
@@ -347,10 +504,20 @@ class MiniDbBackend(ExecutionBackend):
             if self._reclaim(ctx, ctx.ledger.size_of(parent), trace,
                              protect=protect):
                 started = time.perf_counter()
-                table = storage_format.read_table(state.spill_dir, parent)
+                blob = state.blobs.get(parent) if tier == 1 and \
+                    state.ram_rung_gb > 0 else None
+                if blob is not None:  # rung-resident: lazy in-RAM decode
+                    table = columnar_codec.decode_table(blob)
+                else:
+                    table = storage_format.read_table(state.spill_dir,
+                                                      parent)
                 db.catalog.put_memory(parent, table)
                 ctx.ledger.promote(parent)
-                trace.promote_read += time.perf_counter() - started
+                elapsed = time.perf_counter() - started
+                ctx.ledger.record_wall_seconds(
+                    tier, read_seconds=elapsed,
+                    read_gb=ctx.ledger.size_of(parent))
+                trace.promote_read += elapsed
             else:
                 write = state.writes.get(parent)
                 if write is not None:  # wait for the durable copy

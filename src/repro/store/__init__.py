@@ -81,10 +81,14 @@ and ``benchmarks/bench_compressed_spill.py``.
 """
 
 from repro.store.config import (
+    COLUMNAR_CODEC,
     LOCAL_DISK_PROFILE,
     NONE_CODEC,
+    RAM_COMPRESSED,
+    RAM_COMPRESSED_PROFILE,
     SPILL_CODECS,
     SSD_PROFILE,
+    ZLIB1_CODEC,
     ZLIB_CODEC,
     CodecAdaptConfig,
     CodecProfile,
@@ -103,10 +107,13 @@ from repro.store.policy import (
 from repro.store.tiered import SpillCharge, StorageTier, TieredLedger
 
 __all__ = [
+    "COLUMNAR_CODEC",
     "CodecAdaptConfig",
     "CodecProfile",
     "LOCAL_DISK_PROFILE",
     "NONE_CODEC",
+    "RAM_COMPRESSED",
+    "RAM_COMPRESSED_PROFILE",
     "SPILL_CODECS",
     "SSD_PROFILE",
     "SpillCharge",
@@ -116,6 +123,7 @@ __all__ = [
     "TierSpec",
     "TieredLedger",
     "VictimInfo",
+    "ZLIB1_CODEC",
     "ZLIB_CODEC",
     "create_policy",
     "parse_tier",

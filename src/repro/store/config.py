@@ -59,6 +59,27 @@ COLD_PROFILE = DeviceProfile(
     encode_rate=math.inf,
 )
 
+#: The well-known name of the compressed-in-RAM rung (see
+#: :data:`RAM_COMPRESSED_PROFILE`).
+RAM_COMPRESSED = "ram-compressed"
+
+#: Compressed-in-RAM rung: entries stay in memory, so there is *no*
+#: device transfer at all — infinite bandwidths and zero latency make
+#: every simulated read/write leg exactly 0 seconds.  The rung's entire
+#: cost is its codec (encode on demotion, decode on read-back) and its
+#: entire value is the codec's ratio: a ``budget`` GB rung hosts
+#: ``budget * ratio`` logical GB of warm intermediates that would
+#: otherwise cascade to SSD/disk (cf. reasoning directly over
+#: compressed in-memory data in *Datalog Reasoning over Compressed RDF
+#: Knowledge Bases*).
+RAM_COMPRESSED_PROFILE = DeviceProfile(
+    disk_read_bandwidth=math.inf,
+    disk_write_bandwidth=math.inf,
+    read_latency=0.0,
+    decode_rate=math.inf,
+    encode_rate=math.inf,
+)
+
 #: Default device model per well-known tier name (``--tier ssd:8``).
 TIER_PROFILES: dict[str, DeviceProfile] = {
     "ssd": SSD_PROFILE,
@@ -67,6 +88,7 @@ TIER_PROFILES: dict[str, DeviceProfile] = {
     "hdd": LOCAL_DISK_PROFILE,
     "cold": COLD_PROFILE,
     "nfs": COLD_PROFILE,
+    RAM_COMPRESSED: RAM_COMPRESSED_PROFILE,
 }
 
 
@@ -116,10 +138,40 @@ ZLIB_CODEC = CodecProfile("zlib", ratio=2.6,
                           encode_seconds_per_gb=0.8,
                           decode_seconds_per_gb=0.35)
 
+#: Fast preset (zlib level 1): gives back some ratio for a much cheaper
+#: encode stage — the right trade for the compressed-in-RAM rung, where
+#: there is no device transfer to hide the codec behind and every
+#: demotion/readback pays the codec stages in full.
+ZLIB1_CODEC = CodecProfile("zlib1", ratio=2.1,
+                           encode_seconds_per_gb=0.3,
+                           decode_seconds_per_gb=0.3)
+
+#: Columnar-aware codec: dictionary-encodes low-cardinality columns and
+#: delta-encodes sorted/sequential integer columns *before* the byte
+#: compressor, exploiting MiniDB's numpy column layout (cf. the
+#: column-layout-aware encodings of *Optimised Storage for Datalog
+#: Reasoning*).  Better ratio than plain deflate on star-schema
+#: intermediates at a similar decode cost; the encode analysis pass
+#: makes it a bit dearer to write.  MiniDB realizes this codec for real
+#: (:mod:`repro.db.columnar_codec`); simulated runs charge this preset.
+COLUMNAR_CODEC = CodecProfile("columnar", ratio=3.4,
+                              encode_seconds_per_gb=0.55,
+                              decode_seconds_per_gb=0.28)
+
 #: Built-in codec presets selectable by name (``--spill-codec zlib``).
 SPILL_CODECS: dict[str, CodecProfile] = {
     "none": NONE_CODEC,
     "zlib": ZLIB_CODEC,
+    "zlib1": ZLIB1_CODEC,
+    "columnar": COLUMNAR_CODEC,
+}
+
+#: Per-tier-name codec fallback, consulted *between* an explicit codec
+#: and the config-wide default: a compressed-in-RAM rung with no codec
+#: is just a second RAM partition with extra steps, so it defaults to
+#: the fast preset unless the tier or the config picks something else.
+DEFAULT_TIER_CODECS: dict[str, str] = {
+    RAM_COMPRESSED: "zlib1",
 }
 
 
@@ -208,9 +260,16 @@ class TierSpec:
 
     def resolved_codec(self, default: CodecProfile = NONE_CODEC,
                        ) -> CodecProfile:
-        """This tier's codec, falling back to the config's default."""
+        """This tier's codec: the explicit per-tier choice, else a
+        *compressing* config default, else the tier name's own default
+        (:data:`DEFAULT_TIER_CODECS`), else the config default."""
         if self.codec is not None:
             return self.codec
+        if default.ratio > 1.0:
+            return default
+        name_default = DEFAULT_TIER_CODECS.get(self.name)
+        if name_default is not None:
+            return resolve_codec(name_default)
         return default
 
 
@@ -298,3 +357,12 @@ class SpillConfig:
             raise ValidationError(
                 "'ram' is the executing ledger's budget, not a spill "
                 "tier; set the memory budget instead")
+        if RAM_COMPRESSED in names:
+            if names[0] != RAM_COMPRESSED:
+                raise ValidationError(
+                    f"{RAM_COMPRESSED!r} is an in-memory rung and must "
+                    f"be the first (hottest) tier, got {names}")
+            if math.isinf(self.tiers[0].budget):
+                raise ValidationError(
+                    f"{RAM_COMPRESSED!r} lives in RAM and needs a "
+                    f"finite budget (GB of compressed bytes)")

@@ -15,6 +15,17 @@ Demotions cascade: spilling into a full middle tier first spills that
 tier's own victims further down, so a hierarchy like RAM → small SSD →
 unbounded disk behaves like a proper inclusive cache hierarchy.
 
+A tier need not be a device at all: the well-known ``ram-compressed``
+rung (:data:`~repro.store.config.RAM_COMPRESSED_PROFILE`) keeps demoted
+entries *in memory but encoded* — its transfer legs cost exactly zero
+and its whole price is the codec (encode on demotion, lazy decode on
+read-back), while its whole value is the ratio: the rung's budget is
+charged stored bytes, so a 4 GB rung at 2x holds 8 GB of warm
+intermediates that never reach a device.  The hierarchy then reads
+RAM → ram-compressed → SSD → disk, and every arbitration, victim and
+planner estimate prices the rung through the same decode-aware paths as
+any device tier.
+
 Spill files may be *compressed* (``SpillConfig.codec`` / per-tier
 ``TierSpec.codec``): every entry then has a **logical** size (decoded
 bytes, what RAM and consumers see) and an **on-tier** stored size
@@ -46,6 +57,7 @@ Two run-time refinements close the model-vs-runtime loop:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
@@ -98,6 +110,16 @@ class _TierTelemetry:
     promote_count: int = 0
     promote_logical_gb: float = 0.0
     promote_seconds: float = 0.0
+    # measured wall clocks recorded by real-I/O executors
+    # (charge_io=False runs, via TieredLedger.record_wall_seconds) —
+    # kept apart from the simulated accumulators above so neither
+    # pollutes the other's per-GB averages
+    wall_spill_seconds: float = 0.0
+    wall_spill_gb: float = 0.0
+    wall_read_seconds: float = 0.0
+    wall_read_gb: float = 0.0
+    wall_promote_seconds: float = 0.0
+    wall_promote_gb: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -366,6 +388,9 @@ class TieredLedger(MemoryLedger):
         self.spill_bytes = 0.0
         self.promote_bytes = 0.0
         self.spill_stored_bytes = 0.0
+        # demotions that skipped a full transfer-free rung because the
+        # displaced cascade would have cost more than going direct
+        self.demote_bypass_count = 0
         # promote-ahead prefetching outcomes (see prefetch)
         self.prefetch_count = 0
         self.prefetch_bytes = 0.0
@@ -634,7 +659,23 @@ class TieredLedger(MemoryLedger):
             device = self.tiers[index].spec.resolved_profile()
             round_trip = (1.0 / device.effective_write_bandwidth
                           + 1.0 / device.effective_read_bandwidth)
-            saving = round_trip * (1.0 - 1.0 / observed)
+            if round_trip <= 0.0 and observed > 1.0:
+                # transfer-free rung (ram-compressed): its own device
+                # legs cost nothing, but every byte the codec removes is
+                # a byte that never cascades to the device below — price
+                # the saving at the *next* tier's round trip, or keep
+                # the codec unconditionally when nothing sits below
+                # (compression is then pure RAM capacity).
+                if index + 1 < len(self.tiers):
+                    nxt = self.tiers[index + 1].spec.resolved_profile()
+                    round_trip = (1.0 / nxt.effective_write_bandwidth
+                                  + 1.0 / nxt.effective_read_bandwidth)
+                else:
+                    round_trip = math.inf
+            # clamp: observed <= 1 means the codec *grew* the bytes, so
+            # the saving is zero, never negative (and never inf * 0)
+            headroom = max(0.0, 1.0 - 1.0 / observed)
+            saving = round_trip * headroom if headroom > 0.0 else 0.0
             tax = (algo.encode_seconds_per_gb
                    + algo.decode_seconds_per_gb)
             if adapt.allow_switch and tax >= saving:
@@ -723,43 +764,101 @@ class TieredLedger(MemoryLedger):
             charges.extend(demoted)
         return True, charges
 
+    def _demote_destination(self, idx: int, node_id: str,
+                            logical: float, now: float) -> int:
+        """Destination tier for a demotion out of tier ``idx``.
+
+        Normally one tier down.  A *transfer-free* rung (the
+        ``ram-compressed`` tier) is skipped when it is too full to admit
+        the entry without displacing other bytes onward *and* that
+        displaced cascade is modeled dearer than writing this entry
+        straight to the tier below: routing through a full rung pays
+        its encode here plus a decode + device write for every
+        displaced byte, with no transfer saved in return.  Device tiers
+        are never skipped — bytes pay the device either way, so the
+        one-tier-down invariant stands for them.
+        """
+        dst_idx = idx + 1
+        while dst_idx + 1 < len(self.tiers):
+            dst = self.tiers[dst_idx]
+            if (dst.write_seconds(1.0, now) > 0.0
+                    or dst.read_seconds(1.0, now) > 0.0):
+                break  # a real device, not a rung
+            stored_dst = logical / self._entry_ratio(dst_idx, node_id)
+            free = dst.ledger.available
+            if stored_dst <= free:
+                break  # fits without displacement: the rung pays off
+            below = self.tiers[dst_idx + 1]
+            codec = self._codec(dst_idx)
+            displaced = (stored_dst - free) * self._priced_ratio[dst_idx]
+            below_stored = displaced / self._priced_ratio[dst_idx + 1]
+            route = (self._encode_seconds(dst_idx, logical)
+                     + codec.decode_seconds_per_gb * displaced
+                     + below.write_seconds(below_stored, now)
+                     + self._encode_seconds(dst_idx + 1, displaced))
+            direct_stored = logical / self._entry_ratio(dst_idx + 1,
+                                                        node_id)
+            direct = (below.write_seconds(direct_stored, now)
+                      + self._encode_seconds(dst_idx + 1, logical))
+            if route <= direct:
+                break  # the displacement is still cheaper than a write
+            dst_idx += 1
+        return dst_idx
+
     def _demote_locked(self, node_id: str, now: float,
                        stored_override: float | None = None,
                        ) -> list[SpillCharge] | None:
-        """Move one entry a tier down, cascading; None when impossible.
+        """Move one entry down the hierarchy, cascading; None when
+        impossible.
 
-        The destination is charged the entry's *stored* size — logical
-        bytes shrunk by the destination codec's ratio, or
-        ``stored_override`` when a real-I/O executor measured the
-        actual on-disk bytes.  The charge prices the source read (plus
-        decode when the source tier is compressed), the encode into the
-        destination codec, and the device write of the compressed bytes.
+        The destination is normally the next tier (see
+        :meth:`_demote_destination` for the full-rung bypass) and is
+        charged the entry's *stored* size — logical bytes shrunk by the
+        destination codec's ratio, or ``stored_override`` when a
+        real-I/O executor measured the actual on-disk bytes (real
+        executors move bytes themselves, so their demotes always go
+        exactly one tier down).  The charge prices the source read
+        (plus decode when the source tier is compressed), the encode
+        into the destination codec, and the device write of the
+        compressed bytes.
         """
         idx, src = self._holding(node_id)
         if idx + 1 >= len(self.tiers):
             return None
-        dst = self.tiers[idx + 1]
+        dst_idx = idx + 1
+        if stored_override is None and self.charge_io:
+            dst_idx = self._demote_destination(idx, node_id,
+                                               self._logical_size(
+                                                   idx, node_id), now)
         stored_src = src.ledger.size_of(node_id)
         logical = self._logical_size(idx, node_id)
         stored_dst = (stored_override if stored_override is not None
-                      else logical / self._entry_ratio(idx + 1, node_id))
-        ok, charges = self._make_room(idx + 1, stored_dst, now)
+                      else logical / self._entry_ratio(dst_idx, node_id))
+        ok, charges = self._make_room(dst_idx, stored_dst, now)
+        if not ok and dst_idx != idx + 1:
+            # the bypass target cannot host it; fall back one tier down
+            dst_idx = idx + 1
+            stored_dst = logical / self._entry_ratio(dst_idx, node_id)
+            ok, charges = self._make_room(dst_idx, stored_dst, now)
         if not ok:
             return None
+        dst = self.tiers[dst_idx]
         _, consumers, pending = src.ledger.detach(node_id)
         dst.ledger.adopt(node_id, stored_dst, consumers, pending)
-        self._lower_location[node_id] = idx + 1
+        self._lower_location[node_id] = dst_idx
         self._logical[node_id] = logical
         self._prefetch_missed.discard(node_id)  # new residency episode
         self.spill_count += 1
+        if dst_idx != idx + 1:
+            self.demote_bypass_count += 1
         self.spill_bytes += logical
         self.spill_stored_bytes += stored_dst
         seconds = (src.read_seconds(stored_src, now)
                    + dst.write_seconds(stored_dst, now)
-                   + self._encode_seconds(idx + 1, logical))
+                   + self._encode_seconds(dst_idx, logical))
         if idx > 0:
             seconds += self._entry_decode_seconds(node_id, logical)
-        self._record_spill_in(idx + 1, node_id, logical, stored_dst,
+        self._record_spill_in(dst_idx, node_id, logical, stored_dst,
                               seconds)
         charges.append(SpillCharge(
             node_id=node_id, src=src.name, dst=dst.name, size=logical,
@@ -793,12 +892,16 @@ class TieredLedger(MemoryLedger):
         with self._lock:
             return self._make_room(0, size, now)
 
-    def pick_victim(self, exclude: frozenset = frozenset()) -> str | None:
-        """Best RAM victim under the policy (real-I/O executors spill the
-        bytes themselves, then record the move with :meth:`demote`).
-        Entries named in ``exclude`` are never offered."""
+    def pick_victim(self, exclude: frozenset = frozenset(),
+                    tier: int = 0) -> str | None:
+        """Best demotion victim in ``tier`` under the policy (default:
+        RAM).  Real-I/O executors move the bytes themselves, then record
+        the move with :meth:`demote`; a backend running a compressed
+        in-RAM rung also asks for rung victims (``tier=1``) so it can
+        cascade their blobs to the device below before demoting into a
+        full rung.  Entries named in ``exclude`` are never offered."""
         with self._lock:
-            for victim in self._victims(0):
+            for victim in self._victims(tier):
                 if victim.node_id not in exclude:
                     return victim.node_id
             return None
@@ -1002,6 +1105,32 @@ class TieredLedger(MemoryLedger):
                 return None
             return cost
 
+    def record_wall_seconds(self, index: int, *,
+                            spill_seconds: float = 0.0,
+                            spill_gb: float = 0.0,
+                            read_seconds: float = 0.0,
+                            read_gb: float = 0.0,
+                            promote_seconds: float = 0.0,
+                            promote_gb: float = 0.0) -> None:
+        """Record *measured* wall clocks against tier ``index``.
+
+        Real-I/O executors (``charge_io=False``) call this around their
+        actual encode/dump and read-back/decode work, so the feedback
+        loop gets per-tier observed seconds even with several spill
+        tiers — where the single-tier node-trace fallback cannot
+        attribute the wall clocks.  Each leg carries its own logical-GB
+        denominator; :meth:`tier_report` surfaces the per-GB averages in
+        the tier's ``observed`` block exactly like simulated charges.
+        """
+        with self._lock:
+            telemetry = self._telemetry[index]
+            telemetry.wall_spill_seconds += spill_seconds
+            telemetry.wall_spill_gb += spill_gb
+            telemetry.wall_read_seconds += read_seconds
+            telemetry.wall_read_gb += read_gb
+            telemetry.wall_promote_seconds += promote_seconds
+            telemetry.wall_promote_gb += promote_gb
+
     def record_arbitration(self, stalled: bool, stall_seconds: float = 0.0,
                            avoided: float = 0.0) -> None:
         """Count one stall-vs-spill decision (see ``arbitrate_admission``).
@@ -1044,32 +1173,40 @@ class TieredLedger(MemoryLedger):
         """One tier's observed-cost telemetry, report-ready.
 
         Per-GB seconds are ``None`` (not ``0.0``) when no traffic of
-        that kind happened *or* when this ledger does not charge
-        simulated seconds (``charge_io=False`` — real-I/O executors
-        measure wall clocks on the node traces instead);
-        ``observed_ratio`` is ``None`` when the tier never received a
-        spill, so "no data" is distinguishable from "incompressible"
-        (ratio 1.0).
+        that kind happened.  Ledgers that do not charge simulated
+        seconds (``charge_io=False``) surface the *measured* wall
+        clocks their executor recorded via :meth:`record_wall_seconds`
+        instead — ``None`` when none were recorded; ``observed_ratio``
+        is ``None`` when the tier never received a spill, so "no data"
+        is distinguishable from "incompressible" (ratio 1.0).
         """
         telemetry = self._telemetry[index]
 
-        def per_gb(seconds: float, gigabytes: float) -> float | None:
-            if not self.charge_io or gigabytes <= 0.0:
-                return None
-            return seconds / gigabytes
+        def per_gb(seconds: float, gigabytes: float,
+                   wall_seconds: float, wall_gb: float) -> float | None:
+            if self.charge_io:
+                if gigabytes <= 0.0:
+                    return None
+                return seconds / gigabytes
+            if wall_seconds > 0.0 and wall_gb > 0.0:
+                return wall_seconds / wall_gb
+            return None
 
         return {
             "spill_in_count": telemetry.spill_in_count,
             "spill_in_gb": telemetry.spill_in_logical_gb,
             "spill_in_stored_gb": telemetry.spill_in_stored_gb,
             "spill_write_seconds_per_gb": per_gb(
-                telemetry.spill_in_seconds, telemetry.spill_in_logical_gb),
+                telemetry.spill_in_seconds, telemetry.spill_in_logical_gb,
+                telemetry.wall_spill_seconds, telemetry.wall_spill_gb),
             "read_gb": telemetry.read_logical_gb,
             "read_seconds_per_gb": per_gb(
-                telemetry.read_seconds, telemetry.read_logical_gb),
+                telemetry.read_seconds, telemetry.read_logical_gb,
+                telemetry.wall_read_seconds, telemetry.wall_read_gb),
             "promote_gb": telemetry.promote_logical_gb,
             "promote_create_seconds_per_gb": per_gb(
-                telemetry.promote_seconds, telemetry.promote_logical_gb),
+                telemetry.promote_seconds, telemetry.promote_logical_gb,
+                telemetry.wall_promote_seconds, telemetry.wall_promote_gb),
             "observed_ratio": (
                 telemetry.encoded_logical_gb / telemetry.encoded_stored_gb
                 if telemetry.encoded_stored_gb > 0.0 else None),
@@ -1115,6 +1252,7 @@ class TieredLedger(MemoryLedger):
                 "promote": self.config.promote,
                 "codec": self.config.codec.name,
                 "spill_count": self.spill_count,
+                "demote_bypass_count": self.demote_bypass_count,
                 "promote_count": self.promote_count,
                 "spill_bytes_gb": self.spill_bytes,
                 "spill_stored_gb": self.spill_stored_bytes,

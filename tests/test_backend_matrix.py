@@ -1,4 +1,4 @@
-"""Cross-backend equivalence matrix + PR 4 golden-file regression.
+"""Cross-backend equivalence matrix + PR 4/PR 5 golden regressions.
 
 Two contracts pin the new feedback-loop knobs:
 
@@ -35,6 +35,8 @@ from repro.workloads.generator import (
 )
 
 GOLDEN = pathlib.Path(__file__).parent / "data" / "golden_pr4_trace.json"
+GOLDEN_PR5 = (pathlib.Path(__file__).parent / "data"
+              / "golden_pr5_trace.json")
 
 
 def _fixed_case(n_nodes=28, seed=0):
@@ -89,6 +91,38 @@ class TestGoldenRegression:
         the tiered pipeline; guard against workload drift."""
         golden = json.loads(GOLDEN.read_text())
         assert golden["extras"]["tiered_store"]["spill_count"] > 0
+
+    def test_knobs_off_reproduces_pr5_trace(self):
+        """PR 5 anchor: the full feedback-era pipeline (zlib codec,
+        prefetch, adaptive re-pricing) with every PR 6 knob off — no
+        ram-compressed rung — re-run on current code.  The golden was
+        generated from the PR 5 code, so passing proves the rung, the
+        new codecs and the demote bypass left the existing pipeline
+        bit-equal."""
+        from repro.store.config import CodecAdaptConfig
+
+        graph, plan, peak = _fixed_case(n_nodes=26, seed=5)
+        ram = 0.4 * peak
+        spill = SpillConfig(
+            tiers=(TierSpec("ssd", 0.5 * peak), TierSpec("disk")),
+            codec="zlib", prefetch=True,
+            adapt=CodecAdaptConfig(samples=2))
+        trace = Controller(options=SimulatorOptions(spill=spill)).refresh(
+            graph, ram, plan=plan, method="sc")
+        golden = json.loads(GOLDEN_PR5.read_text())
+        fresh = trace.to_dict()
+        assert fresh["nodes"] == golden["nodes"]
+        for key in golden:
+            if key != "extras":
+                assert fresh[key] == golden[key], key
+        _subset_equal(golden["extras"], fresh["extras"])
+
+    def test_pr5_golden_scenario_still_exercises_the_pipeline(self):
+        report = json.loads(GOLDEN_PR5.read_text())[
+            "extras"]["tiered_store"]
+        assert report["spill_count"] > 0
+        assert report["prefetch"]["count"] > 0
+        assert report["codec_adapt"]["tiers"], "adaptation never decided"
 
 
 class TestBackendMatrix:

@@ -353,10 +353,12 @@ class TestMiniDbFeedback:
                                              plan=plan)
         report = trace.extras["tiered_store"]
         assert report["spill_count"] > 0
-        # charge_io=False: the report's simulated per-GB seconds are
-        # None, but real wall clocks exist on the node traces
+        # charge_io=False: the report's per-GB seconds come from the
+        # *measured* wall clocks the backend records per tier, so the
+        # feedback loop prices the tier even in multi-tier hierarchies
+        # where the node-trace fallback cannot attribute the time
         tier = report["tiers"][1]
-        assert tier["observed"]["spill_write_seconds_per_gb"] is None
+        assert tier["observed"]["spill_write_seconds_per_gb"] > 0
         assert tier["observed"]["observed_ratio"] is not None
         feedback = CostFeedback.from_trace(trace)
         spilled = feedback.observation("spill-disk")

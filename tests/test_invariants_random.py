@@ -36,7 +36,12 @@ from repro.core.problem import ScProblem
 from repro.engine.controller import Controller
 from repro.engine.simulator import SimulatorOptions
 from repro.engine.trace import RunTrace
-from repro.store.config import CodecAdaptConfig, SpillConfig, TierSpec
+from repro.store.config import (
+    RAM_COMPRESSED,
+    CodecAdaptConfig,
+    SpillConfig,
+    TierSpec,
+)
 from repro.store.tiered import TieredLedger
 from repro.workloads.generator import (
     GeneratedWorkloadConfig,
@@ -139,6 +144,15 @@ class CheckedLedger(TieredLedger):
                          "avoided_spill_seconds"):
                 self._expect(getattr(self, name) >= 0.0,
                              f"{name} went negative")
+            self._expect(0 <= self.demote_bypass_count <= self.spill_count,
+                         "demote_bypass_count out of range")
+            # per-tier telemetry (spill-in/read/promote episodes, the
+            # decode-aware read counters included) never goes negative
+            for index, telemetry in enumerate(self._telemetry):
+                for field in vars(telemetry):
+                    self._expect(getattr(telemetry, field) >= 0,
+                                 f"tier {index} telemetry {field} "
+                                 f"went negative")
 
     @staticmethod
     def _expect(condition: bool, message: str) -> None:
@@ -216,6 +230,12 @@ def _random_case(rng: random.Random):
             codec=rng.choice([None, "none", "zlib"])))
     else:
         tiers[0] = TierSpec("ssd")  # single unbounded tier
+    if rng.random() < 0.5:
+        # compressed-in-RAM rung above the device tiers: finite stored
+        # budget, its own codec half the time (else the zlib1 default)
+        tiers.insert(0, TierSpec(
+            RAM_COMPRESSED, rng.uniform(0.1, 0.4) * peak,
+            codec=rng.choice([None, "zlib1", "columnar"])))
     spill = SpillConfig(
         tiers=tuple(tiers),
         policy=rng.choice(["cost", "lru", "largest"]),
