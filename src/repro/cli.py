@@ -26,8 +26,16 @@ Subcommands:
   (victims are encoded in memory, reads decode lazily), and
   ``--plan-tiers`` plans tier-aware against it.
 
-``simulate`` and ``minidb`` both accept ``--profile PATH`` to dump a
-cProfile of the whole run for offline analysis (``python -m pstats``).
+* ``obs`` — observability reports: ``obs report TRACE`` itemizes a
+  saved trace's seconds per stage (the Figure 3 axes plus the
+  bounded-memory mechanics).
+
+``simulate`` and ``minidb`` both accept ``--events PATH`` (record
+span/instant/counter events; ``.jsonl`` gets the event log, anything
+else a Chrome-trace JSON for ui.perfetto.dev), ``--metrics`` (print
+the run's counters/gauges/histograms), and ``--profile PATH`` to dump
+a cProfile of the whole run for offline analysis (``python -m
+pstats``; a top-10 cumulative summary also lands on stderr).
 The simulated tier stack accepts the same rung as a first tier:
 ``--tier ram-compressed:2 --tier ssd:8`` prices demotions at encode
 cost only (no device transfer) and defaults the rung codec to the
@@ -173,6 +181,17 @@ def _build_parser() -> argparse.ArgumentParser:
                             "--tier)")
     p_sim.add_argument("--gantt", action="store_true",
                        help="print an ASCII execution timeline")
+    p_sim.add_argument("--events", metavar="PATH",
+                       help="record span/instant/counter events and "
+                            "write them here: a .jsonl suffix gets the "
+                            "line-per-event log, anything else the "
+                            "Chrome-trace JSON (load in ui.perfetto.dev "
+                            "or chrome://tracing); with --replan only "
+                            "the second pass is recorded")
+    p_sim.add_argument("--metrics", action="store_true",
+                       help="print the run's metrics registry "
+                            "(counters/gauges/histograms) after the "
+                            "summary")
     p_sim.add_argument("--profile", metavar="PATH",
                        help="dump a cProfile of the whole run to PATH "
                             "(inspect with python -m pstats)")
@@ -243,9 +262,27 @@ def _build_parser() -> argparse.ArgumentParser:
     p_db.add_argument("--method", default="sc",
                       choices=sorted(OPTIMIZER_METHODS))
     p_db.add_argument("--seed", type=int, default=0)
+    p_db.add_argument("--events", metavar="PATH",
+                      help="record span/instant/counter events and "
+                           "write them here (.jsonl: event log; "
+                           "otherwise Chrome-trace JSON for "
+                           "ui.perfetto.dev / chrome://tracing)")
+    p_db.add_argument("--metrics", action="store_true",
+                      help="print the run's metrics registry after "
+                           "the summary")
     p_db.add_argument("--profile", metavar="PATH",
                       help="dump a cProfile of the whole run to PATH "
                            "(inspect with python -m pstats)")
+
+    p_obs = sub.add_parser(
+        "obs", help="observability reports over saved run traces")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_obs_report = obs_sub.add_parser(
+        "report",
+        help="per-stage attribution table (the Figure 3 axes itemized) "
+             "from a RunTrace JSON written with simulate --save-trace")
+    p_obs_report.add_argument("trace",
+                              help="path to a RunTrace JSON")
 
     p_exp = sub.add_parser(
         "explain", help="explain a plan's flag decisions node by node")
@@ -330,6 +367,40 @@ def _spill_setup(args) -> tuple[float, SpillConfig | None]:
                                adapt=adapt)
 
 
+def _make_bus(args):
+    """An EventBus when --events/--metrics asked for one, else None
+    (backends then default to the zero-overhead NULL_BUS)."""
+    if not (getattr(args, "events", None) or getattr(args, "metrics",
+                                                     False)):
+        return None
+    from repro.obs.events import EventBus
+
+    return EventBus()
+
+
+def _emit_observability(args, bus) -> None:
+    """Write --events output (format by extension) and print --metrics."""
+    if bus is None:
+        return
+    if args.events:
+        if args.events.endswith(".jsonl"):
+            from repro.obs.export import events_to_jsonl
+
+            events_to_jsonl(bus.events, args.events)
+            note = "JSONL event log"
+        else:
+            from repro.obs.export import write_chrome_trace
+
+            write_chrome_trace(bus.events, args.events)
+            note = "Chrome trace; load in ui.perfetto.dev"
+        print(f"events:            {args.events} "
+              f"({len(bus.events)} events, {note})", file=sys.stderr)
+    if args.metrics:
+        print()
+        print("=== metrics ===")
+        print(bus.metrics.render())
+
+
 def _print_spill_stats(trace) -> None:
     report = trace.extras.get("tiered_store")
     if not report:
@@ -337,6 +408,10 @@ def _print_spill_stats(trace) -> None:
     print(f"spills:            {report['spill_count']} "
           f"({report['spill_bytes_gb']:.3f} GB) "
           f"[policy {report['policy']}]")
+    bypasses = report.get("demote_bypass_count", 0)
+    if bypasses:
+        print(f"demote bypasses:   {bypasses} "
+              f"(demotions that skipped past a full middle tier)")
     codec = report.get("codec", "none")
     if codec != "none":
         observed = report.get("observed_codec_ratio")
@@ -366,10 +441,11 @@ def _print_spill_stats(trace) -> None:
               f"of spill)")
     prefetch = report.get("prefetch", {})
     if prefetch.get("enabled"):
-        print(f"prefetch:          {prefetch['count']} promoted ahead "
-              f"({prefetch['bytes_gb']:.3f} GB, "
-              f"{prefetch['hidden_seconds']:.3f} s hidden in idle time, "
-              f"{prefetch['misses']} misses)")
+        print(f"prefetch:          {prefetch['count']} hits / "
+              f"{prefetch['misses']} misses "
+              f"({prefetch['bytes_gb']:.3f} GB promoted ahead, "
+              f"{prefetch['hidden_seconds']:.3f} s hidden in idle "
+              f"time)")
     for tier in report["tiers"]:
         budget = ("unbounded" if tier["budget"] == float("inf")
                   else f"{tier['budget']:.3f}")
@@ -435,7 +511,9 @@ def _cmd_simulate(args) -> int:
         # bad flag combinations keep argparse's usage-error contract
         print(f"repro-sc simulate: error: {exc}", file=sys.stderr)
         return 2
-    controller = Controller(options=SimulatorOptions(spill=spill))
+    bus = _make_bus(args)
+    controller = Controller(options=SimulatorOptions(spill=spill),
+                            bus=bus)
     plan = None
     if args.plan:
         with open(args.plan, encoding="utf-8") as handle:
@@ -467,6 +545,10 @@ def _cmd_simulate(args) -> int:
                                             method=args.method,
                                             seed=args.seed)
         first = trace
+        if bus is not None:
+            # record only the replanned pass: one bus spans one run
+            bus.clear()
+            bus.rebase()
         trace = controller.refresh(graph, memory, method=args.method,
                                    seed=args.seed, plan=plan,
                                    backend=args.backend,
@@ -481,6 +563,7 @@ def _cmd_simulate(args) -> int:
     if args.save_trace:
         with open(args.save_trace, "w", encoding="utf-8") as handle:
             handle.write(trace.to_json())
+    _emit_observability(args, bus)
     if args.gantt:
         print()
         print(trace.gantt())
@@ -536,7 +619,7 @@ def _demo_workload(data_dir: str, rows: int, seed: int):
     ])
 
 
-def _run_minidb(args, data_dir: str):
+def _run_minidb(args, data_dir: str, bus=None):
     workload = _demo_workload(data_dir, rows=args.rows, seed=args.seed)
     profiled = workload.profile()
     adapt = CodecAdaptConfig() if args.adaptive_codec else None
@@ -544,7 +627,8 @@ def _run_minidb(args, data_dir: str):
                             ram_compressed_gb=args.ram_compressed,
                             spill=SpillConfig(policy=args.spill_policy,
                                               codec=args.spill_codec,
-                                              adapt=adapt))
+                                              adapt=adapt),
+                            bus=bus)
     plan_memory = (args.memory if args.plan_memory is None
                    else args.plan_memory)
     plan = controller.plan_for_minidb(profiled, plan_memory,
@@ -581,13 +665,15 @@ def _cmd_minidb(args) -> int:
               "--spill-dir (without it the run never spills, so there "
               "is nothing to measure)", file=sys.stderr)
         return 2
+    bus = _make_bus(args)
     if args.data_dir:
-        plan, trace = _run_minidb(args, args.data_dir)
+        plan, trace = _run_minidb(args, args.data_dir, bus=bus)
     else:
         import tempfile
 
         with tempfile.TemporaryDirectory() as scratch:
-            plan, trace = _run_minidb(args, f"{scratch}/warehouse")
+            plan, trace = _run_minidb(args, f"{scratch}/warehouse",
+                                      bus=bus)
     print(f"method:            {args.method} "
           f"({len(plan.flagged)}/{len(plan.order)} MVs flagged)")
     if plan.expected_tiers:
@@ -601,6 +687,17 @@ def _cmd_minidb(args) -> int:
     print(f"peak catalog use:  {trace.peak_catalog_usage:.6f} "
           f"/ {trace.memory_budget:.6f} GB")
     _print_spill_stats(trace)
+    _emit_observability(args, bus)
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    from repro.engine.trace import RunTrace
+    from repro.obs.report import attribution_table
+
+    with open(args.trace, encoding="utf-8") as handle:
+        trace = RunTrace.from_json(handle.read())
+    print(attribution_table(trace))
     return 0
 
 
@@ -640,6 +737,7 @@ def main(argv: list[str] | None = None) -> int:
         "workload": _cmd_workload,
         "bench": _cmd_bench,
         "minidb": _cmd_minidb,
+        "obs": _cmd_obs,
         "explain": _cmd_explain,
         "pipeline": _cmd_pipeline,
     }
@@ -656,8 +754,13 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         profiler.disable()
         profiler.dump_stats(profile_path)
+        import pstats
+
         print(f"profile:           {profile_path} "
               f"(python -m pstats {profile_path})", file=sys.stderr)
+        print("top 10 by cumulative time:", file=sys.stderr)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(10)
     return status
 
 

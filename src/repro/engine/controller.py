@@ -35,6 +35,7 @@ from repro.errors import ValidationError
 from repro.exec.base import create_backend
 from repro.graph.dag import DependencyGraph
 from repro.metadata.costmodel import DeviceProfile
+from repro.obs.events import EventBus
 from repro.store.config import RAM_COMPRESSED, SpillConfig, TierSpec
 
 
@@ -55,6 +56,9 @@ class Controller:
         ram_compressed_gb: optional budget (GB of compressed bytes)
             arming a *real* compressed-in-RAM rung between RAM and the
             spill disk on the MiniDB backend; needs ``spill_dir``.
+        bus: optional observability :class:`~repro.obs.events.EventBus`
+            threaded into every backend this controller creates; ``None``
+            (default) keeps tracing off with zero overhead.
     """
 
     profile: DeviceProfile = field(default_factory=DeviceProfile)
@@ -64,6 +68,7 @@ class Controller:
     spill: SpillConfig | None = None
     spill_dir: str | None = None
     ram_compressed_gb: float = 0.0
+    bus: EventBus | None = None
 
     def _effective_options(self) -> SimulatorOptions:
         if self.spill is None:
@@ -220,7 +225,8 @@ class Controller:
                 "disable spill or pick another backend")
         executor = create_backend(
             name, profile=self.profile, options=options,
-            workers=self.workers if workers is None else workers, seed=seed)
+            workers=self.workers if workers is None else workers, seed=seed,
+            bus=self.bus)
         if not executor.requires_plan:
             if method != name:
                 # a plan-free baseline cannot honor an optimizing method,
@@ -340,5 +346,5 @@ class Controller:
             extra["ram_compressed_gb"] = rung_gb
         executor = create_backend(  # lazy import: optional numpy dep
             "minidb", profile=self.profile, options=self.options,
-            seed=seed, workload=workload, **extra)
+            seed=seed, bus=self.bus, workload=workload, **extra)
         return executor.run(graph, plan, memory_budget, method=method)

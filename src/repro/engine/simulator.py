@@ -40,6 +40,7 @@ from repro.exec.ledger import MemoryLedger
 from repro.graph.dag import DependencyGraph
 from repro.graph.topo import check_topological_order
 from repro.metadata.costmodel import DeviceProfile
+from repro.obs.events import NULL_BUS, EventBus, emit_node_events
 from repro.store.config import SpillConfig
 
 
@@ -110,10 +111,16 @@ class SimulatorState:
 
 @dataclass
 class RefreshSimulator:
-    """Simulates refresh runs under a device profile and runtime policy."""
+    """Simulates refresh runs under a device profile and runtime policy.
+
+    ``bus`` is the observability event bus (:mod:`repro.obs`); the
+    default :data:`~repro.obs.events.NULL_BUS` keeps every emission a
+    no-op, so untraced runs stay bit-identical and effectively free.
+    """
 
     profile: DeviceProfile = field(default_factory=DeviceProfile)
     options: SimulatorOptions = field(default_factory=SimulatorOptions)
+    bus: EventBus = field(default_factory=lambda: NULL_BUS)
 
     # ------------------------------------------------------------------
     def begin(self, memory_budget: float,
@@ -135,7 +142,8 @@ class RefreshSimulator:
             )
 
             catalog: MemoryLedger = TieredLedger(
-                memory_budget, self.options.spill, profile=self.profile)
+                memory_budget, self.options.spill, profile=self.profile,
+                bus=self.bus)
             if graph is not None:
                 catalog.set_compressibility(
                     compressibility_from_graph(graph))
@@ -224,6 +232,8 @@ class RefreshSimulator:
             trace.end = clock
             state.clock = clock
             state.traces.append(trace)
+            if self.bus.enabled:
+                emit_node_events(self.bus, trace, "worker-0")
 
     def finish(self, state: SimulatorState, memory_budget: float,
                method: str = "") -> RunTrace:
@@ -236,6 +246,16 @@ class RefreshSimulator:
         report = getattr(state.catalog, "tier_report", None)
         if callable(report):
             extras["tiered_store"] = report()
+        if self.bus.enabled:
+            self.bus.instant(
+                "run-finish", "run", "scheduler",
+                max(compute_finished, drained),
+                args={"method": method,
+                      "compute_finished_at": compute_finished,
+                      "background_drained_at": drained})
+            ledger_metrics = getattr(state.catalog, "metrics", None)
+            if ledger_metrics is not None:
+                self.bus.metrics.merge(ledger_metrics)
         return RunTrace(
             nodes=state.traces,
             end_to_end_time=max(compute_finished, drained),

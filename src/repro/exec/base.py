@@ -72,13 +72,18 @@ class ExecutionBackend(abc.ABC):
     requires_plan: ClassVar[bool] = True
 
     def __init__(self, profile=None, options=None, workers: int = 1,
-                 seed: int = 0, **kwargs) -> None:
+                 seed: int = 0, bus=None, **kwargs) -> None:
+        from repro.obs.events import resolve_bus
+
         if workers < 1:
             raise ValidationError("workers must be >= 1")
         self.profile = profile
         self.options = options
         self.workers = workers
         self.seed = seed
+        # observability event bus (repro.obs); NULL_BUS unless the run
+        # was launched with tracing on, so instrumentation is free
+        self.bus = resolve_bus(bus)
         self.extra = kwargs
 
     # ------------------------------------------------------------------
@@ -185,9 +190,9 @@ def get_backend(name: str) -> type[ExecutionBackend]:
 
 
 def create_backend(name: str, *, profile=None, options=None,
-                   workers: int = 1, seed: int = 0,
+                   workers: int = 1, seed: int = 0, bus=None,
                    **kwargs) -> ExecutionBackend:
     """Instantiate a backend with the shared constructor contract."""
     cls = get_backend(name)
     return cls(profile=profile, options=options, workers=workers,
-               seed=seed, **kwargs)
+               seed=seed, bus=bus, **kwargs)

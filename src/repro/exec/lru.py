@@ -49,4 +49,14 @@ class LruBackend(ExecutionBackend):
 
     def finish(self, ctx: ExecutionContext) -> RunTrace:
         simulator, state = ctx.payload
-        return simulator.finish(state, ctx.memory_budget, method=ctx.method)
+        trace = simulator.finish(state, ctx.memory_budget,
+                                 method=ctx.method)
+        if self.bus.enabled:
+            from repro.obs.events import emit_node_events
+
+            for node in trace.nodes:
+                emit_node_events(self.bus, node, "worker-0")
+            self.bus.instant(
+                "run-finish", "run", "scheduler", trace.end_to_end_time,
+                args={"method": ctx.method})
+        return trace

@@ -151,9 +151,14 @@ class MiniDbBackend(ExecutionBackend):
             # charge_io=False: this backend measures real wall clocks
             # around real (de)serialization instead of charging a model
             ledger: MemoryLedger = TieredLedger(memory_budget, config,
-                                                charge_io=False)
+                                                charge_io=False,
+                                                bus=self.bus)
         else:
             ledger = MemoryLedger(budget=memory_budget)
+        # re-base the bus epoch to the run start: this backend's logical
+        # clock IS wall time, so event timestamps line up with the
+        # run-relative NodeTrace clocks
+        self.bus.rebase()
         state = _MiniDbState(by_name=by_name,
                              run_started=time.perf_counter(),
                              spill_dir=spill_dir,
@@ -206,6 +211,10 @@ class MiniDbBackend(ExecutionBackend):
 
         trace.end = time.perf_counter() - state.run_started
         ctx.traces.append(trace)
+        if self.bus.enabled:
+            from repro.obs.events import emit_node_events
+
+            emit_node_events(self.bus, trace, "worker-0")
 
     # ------------------------------------------------------------------
     def materialize(self, ctx: ExecutionContext, node_id: str) -> None:
@@ -254,6 +263,15 @@ class MiniDbBackend(ExecutionBackend):
                 storage_format.delete_table(state.spill_dir, node_id)
                 state.spill_files.discard(node_id)
         end_to_end = time.perf_counter() - state.run_started
+        if self.bus.enabled:
+            self.bus.instant(
+                "run-finish", "run", "scheduler", end_to_end,
+                args={"method": ctx.method,
+                      "compute_finished_at": compute_finished,
+                      "background_drained_at": end_to_end})
+            ledger_metrics = getattr(ctx.ledger, "metrics", None)
+            if ledger_metrics is not None:
+                self.bus.metrics.merge(ledger_metrics)
         return RunTrace(
             nodes=ctx.traces,
             end_to_end_time=end_to_end,

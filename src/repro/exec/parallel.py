@@ -175,7 +175,7 @@ class ParallelSimulatorBackend(ExecutionBackend):
 
             ledger: MemoryLedger = TieredLedger(
                 memory_budget, options.spill,
-                profile=self.profile or DeviceProfile())
+                profile=self.profile or DeviceProfile(), bus=self.bus)
             ledger.set_compressibility(compressibility_from_graph(graph))
         else:
             ledger = MemoryLedger(budget=memory_budget)
@@ -295,6 +295,13 @@ class ParallelSimulatorBackend(ExecutionBackend):
     def _dispatch_round(self, ctx: ExecutionContext) -> None:
         """Start every node that is ready, admissible, and has a worker."""
         state: _SchedulerState = ctx.payload
+        if self.bus.enabled and state.ready and state.idle_workers:
+            self.bus.metrics.counter("scheduler.dispatch_rounds").inc()
+            self.bus.instant(
+                "dispatch-round", "scheduler", "scheduler", state.now,
+                args={"ready": len(state.ready),
+                      "idle_workers": len(state.idle_workers),
+                      "running": state.running})
         options = self.options or SimulatorOptions()
         tiered = options.spill is not None
         prefetch_on = tiered and options.spill.prefetch
@@ -453,9 +460,10 @@ class ParallelSimulatorBackend(ExecutionBackend):
                                                          state.now)
             ctx.ledger.record_arbitration(stalled=True,
                                           stall_seconds=waited,
-                                          avoided=estimate)
+                                          avoided=estimate,
+                                          now=state.now)
         else:
-            ctx.ledger.record_arbitration(stalled=False)
+            ctx.ledger.record_arbitration(stalled=False, now=state.now)
 
     def _process_next_event(self, ctx: ExecutionContext) -> None:
         state: _SchedulerState = ctx.payload
@@ -495,6 +503,11 @@ class ParallelSimulatorBackend(ExecutionBackend):
         state.running -= 1
         state.completed.add(node_id)
         state.last_completion = max(state.last_completion, end_clock)
+        if self.bus.enabled:
+            from repro.obs.events import emit_node_events
+
+            emit_node_events(self.bus, state.trace_by_id[node_id],
+                             f"worker-{worker}")
         for child in graph.children(node_id):
             state.deps_left[child] -= 1
             if state.deps_left[child] == 0:
@@ -623,6 +636,16 @@ class ParallelSimulatorBackend(ExecutionBackend):
         report = getattr(ctx.ledger, "tier_report", None)
         if callable(report):
             extras["tiered_store"] = report()
+        if self.bus.enabled:
+            self.bus.instant(
+                "run-finish", "run", "scheduler",
+                max(state.last_completion, drained),
+                args={"method": ctx.method, "workers": self.workers,
+                      "compute_finished_at": state.last_completion,
+                      "background_drained_at": drained})
+            ledger_metrics = getattr(ctx.ledger, "metrics", None)
+            if ledger_metrics is not None:
+                self.bus.metrics.merge(ledger_metrics)
         return RunTrace(
             nodes=state.traces,
             end_to_end_time=max(state.last_completion, drained),

@@ -38,7 +38,8 @@ class SerialSimulatorBackend(ExecutionBackend):
         check_topological_order(graph, plan.order)
         simulator = RefreshSimulator(
             profile=self.profile or DeviceProfile(),
-            options=self.options or SimulatorOptions())
+            options=self.options or SimulatorOptions(),
+            bus=self.bus)
         state = simulator.begin(memory_budget, graph=graph)
         return ExecutionContext(graph=graph, plan=plan,
                                 memory_budget=memory_budget, method=method,

@@ -1,0 +1,43 @@
+"""Unified run observability: event bus, metrics registry, exporters.
+
+See :mod:`repro.obs.events` for the tracing model, ``docs/ARCHITECTURE.md``
+("Observability") for the taxonomy and exporter table.
+"""
+
+from repro.obs.events import (
+    EVENT_CATEGORIES,
+    Event,
+    EventBus,
+    NULL_BUS,
+    emit_node_events,
+    resolve_bus,
+)
+from repro.obs.export import (
+    chrome_trace,
+    events_from_jsonl,
+    events_to_jsonl,
+    text_timeline,
+    write_chrome_trace,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import attribution_table, stage_totals
+
+__all__ = [
+    "EVENT_CATEGORIES",
+    "Event",
+    "EventBus",
+    "NULL_BUS",
+    "emit_node_events",
+    "resolve_bus",
+    "chrome_trace",
+    "write_chrome_trace",
+    "events_to_jsonl",
+    "events_from_jsonl",
+    "text_timeline",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "attribution_table",
+    "stage_totals",
+]

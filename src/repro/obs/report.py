@@ -1,0 +1,79 @@
+"""Per-stage attribution report over a saved :class:`RunTrace`.
+
+Mirrors the paper's Figure 3 evidence: every second of a run charged
+to a named stage, rendered as the same aligned table the benchmark
+suite uses.  ``repro obs report TRACE`` is the CLI entry point; the
+totals here are exactly the sums behind ``RunTrace.breakdown()`` and
+``RunTrace`` latency properties, just itemized.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # annotation-only: repro.engine imports repro.obs at
+    # module load (simulator instrumentation), so importing back here
+    # eagerly would be circular
+    from repro.engine.trace import RunTrace
+
+#: Stage → NodeTrace attribute, in presentation order.  "read",
+#: "compute", and "write"+"output create" are the Figure 3 axes;
+#: stall/spill/promote are the bounded-memory mechanics on top.
+STAGES: tuple[tuple[str, str], ...] = (
+    ("read (disk)", "read_disk"),
+    ("read (memory)", "read_memory"),
+    ("promote read", "promote_read"),
+    ("compute", "compute"),
+    ("write (blocking)", "write"),
+    ("output create", "create_memory"),
+    ("stall", "stall"),
+    ("spill write", "spill_write"),
+)
+
+
+def stage_totals(trace: RunTrace) -> dict[str, float]:
+    """Summed seconds per stage across every node of the run."""
+    totals = {label: 0.0 for label, _ in STAGES}
+    for node in trace.nodes:
+        for label, attr in STAGES:
+            totals[label] += getattr(node, attr)
+    return totals
+
+
+def breakdown_from_stages(totals: dict[str, float]) -> dict[str, float]:
+    """Recompute the Figure 3 read/compute/write fractions from stage
+    totals — must match ``RunTrace.breakdown()`` to float tolerance
+    (promote reads are tier traffic, not table reads, so they are
+    excluded exactly as ``breakdown()`` excludes them)."""
+    read = totals["read (disk)"] + totals["read (memory)"]
+    compute = totals["compute"]
+    write = totals["write (blocking)"] + totals["output create"]
+    total = read + compute + write
+    if total == 0:
+        return {"read": 0.0, "compute": 0.0, "write": 0.0}
+    return {"read": read / total, "compute": compute / total,
+            "write": write / total}
+
+
+def attribution_table(trace: RunTrace) -> str:
+    """Render the per-stage table (the ``repro obs report`` body)."""
+    from repro.bench.report import format_table
+
+    totals = stage_totals(trace)
+    grand = sum(totals.values())
+    rows = []
+    for label, _ in STAGES:
+        seconds = totals[label]
+        share = (seconds / grand * 100.0) if grand else 0.0
+        rows.append((label, f"{seconds:.3f}", f"{share:5.1f}%"))
+    rows.append(("total attributed", f"{grand:.3f}", "100.0%" if grand
+                 else "  0.0%"))
+    title = (f"per-stage attribution — {trace.method or 'run'} "
+             f"({len(trace.nodes)} nodes, "
+             f"end-to-end {trace.end_to_end_time:.3f}s)")
+    table = format_table(("stage", "seconds", "share"), rows, title=title)
+    parts = breakdown_from_stages(totals)
+    fig3 = (f"figure-3 axes: read {parts['read'] * 100.0:.1f}%  "
+            f"compute {parts['compute'] * 100.0:.1f}%  "
+            f"write {parts['write'] * 100.0:.1f}%")
+    return f"{table}\n{fig3}"

@@ -65,6 +65,8 @@ from repro.engine.storage import StorageDevice
 from repro.errors import BudgetExceededError, CatalogError, ExecutionError
 from repro.exec.ledger import MemoryLedger
 from repro.metadata.costmodel import DeviceProfile
+from repro.obs.events import EventBus, resolve_bus
+from repro.obs.metrics import MetricsRegistry
 from repro.store.config import NONE_CODEC, CodecProfile, SpillConfig, TierSpec
 from repro.store.policy import VictimInfo, create_policy
 
@@ -187,7 +189,7 @@ def arbitrate_admission(ledger: "TieredLedger", size: float, clock: float,
         if event_time > clock + est:
             # waiting is modeled dearer than the spill round trip
             trace.admission = "spill"
-            ledger.record_arbitration(stalled=False)
+            ledger.record_arbitration(stalled=False, now=clock)
             break
         if avoided is None:
             avoided = est
@@ -199,12 +201,12 @@ def arbitrate_admission(ledger: "TieredLedger", size: float, clock: float,
             trace.admission = "stall"
             ledger.record_arbitration(stalled=True,
                                       stall_seconds=clock - stall_begun,
-                                      avoided=avoided)
+                                      avoided=avoided, now=clock)
         elif trace.admission != "spill":
             # stalled through every drain and still short on room: the
             # admission ends in a (smaller) spill
             trace.admission = "spill"
-            ledger.record_arbitration(stalled=False)
+            ledger.record_arbitration(stalled=False, now=clock)
     return clock
 
 
@@ -308,6 +310,32 @@ class StorageTier:
         return self.device.write_duration(size, now)
 
 
+class _MetricAttr:
+    """Data descriptor exposing one :class:`MetricsRegistry` counter as
+    a plain numeric instance attribute.
+
+    The ledger's historical tallies (``spill_count``, ``promote_bytes``,
+    ...) keep their attribute API — every ``+=`` site, ``tier_report()``
+    field, and external reader is untouched — while the registry becomes
+    the single backing store the observability layer snapshots.  The
+    counter keeps whatever numeric type is assigned (int stays int), so
+    registry-backed reports serialize bit-identically to the
+    plain-attribute ancestors."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return obj.metrics.counter(self.key).value
+
+    def __set__(self, obj, value) -> None:
+        obj.metrics.counter(self.key).value = value
+
+
 class TieredLedger(MemoryLedger):
     """Budget accountant for a RAM + spill-tier hierarchy.
 
@@ -339,10 +367,36 @@ class TieredLedger(MemoryLedger):
     thread-safety guarantees concurrent schedulers rely on carry over.
     """
 
+    # run counters, backed by the ledger's private MetricsRegistry (see
+    # _MetricAttr); initialized to typed zeros in __init__ exactly as
+    # the plain attributes they replaced
+    spill_count = _MetricAttr("store.spill.count")
+    promote_count = _MetricAttr("store.promote.count")
+    spill_bytes = _MetricAttr("store.spill.logical_gb")
+    promote_bytes = _MetricAttr("store.promote.logical_gb")
+    spill_stored_bytes = _MetricAttr("store.spill.stored_gb")
+    demote_bypass_count = _MetricAttr("store.demote.bypass_count")
+    prefetch_count = _MetricAttr("store.prefetch.count")
+    prefetch_bytes = _MetricAttr("store.prefetch.logical_gb")
+    prefetch_hidden_seconds = _MetricAttr("store.prefetch.hidden_seconds")
+    prefetch_misses = _MetricAttr("store.prefetch.misses")
+    stall_wins = _MetricAttr("store.arbitration.stall_wins")
+    spill_wins = _MetricAttr("store.arbitration.spill_wins")
+    stall_seconds = _MetricAttr("store.arbitration.stall_seconds")
+    avoided_spill_seconds = _MetricAttr(
+        "store.arbitration.avoided_spill_seconds")
+
     def __init__(self, budget: float, config: SpillConfig | None = None,
                  profile: DeviceProfile | None = None,
-                 charge_io: bool = True) -> None:
+                 charge_io: bool = True,
+                 bus: EventBus | None = None) -> None:
         super().__init__(budget=budget)
+        # the registry must exist before the first _MetricAttr write;
+        # it is private to this ledger (a --replan second pass builds a
+        # fresh ledger and therefore fresh counts) and gets merged into
+        # the run-level bus registry by the backend at finish
+        self.metrics = MetricsRegistry()
+        self.bus = resolve_bus(bus)
         self.config = config or SpillConfig()
         self.policy = create_policy(self.config.policy)
         self.profile = profile or DeviceProfile()
@@ -405,6 +459,28 @@ class TieredLedger(MemoryLedger):
         self.spill_wins = 0
         self.stall_seconds = 0.0
         self.avoided_spill_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # observability (every site guarded by bus.enabled — off by default)
+    # ------------------------------------------------------------------
+    def _event_time(self, now: float) -> float:
+        """Logical-clock coordinate of a store event: the simulated
+        timeline for charged runs, the bus wall clock for real-I/O
+        ledgers (``charge_io=False``), where wall time *is* the run's
+        logical time."""
+        return now if self.charge_io else self.bus.wall()
+
+    def _emit_occupancy(self, t: float, *indices: int) -> None:
+        """Sample the named tiers' stored-GB levels: a gauge per tier in
+        the metrics registry plus a Chrome counter event per tier lane.
+        Callers pass the tiers a migration touched (caller holds the
+        lock and has already checked ``bus.enabled``)."""
+        for index in set(indices):
+            tier = self.tiers[index]
+            usage = tier.ledger.usage
+            self.metrics.gauge(f"tier.{tier.name}.usage_gb").set(usage)
+            self.bus.counter(f"{tier.name} GB", f"tier:{tier.name}",
+                             t, usage)
 
     # ------------------------------------------------------------------
     # routing: an entry lives in exactly one tier
@@ -860,6 +936,21 @@ class TieredLedger(MemoryLedger):
             seconds += self._entry_decode_seconds(node_id, logical)
         self._record_spill_in(dst_idx, node_id, logical, stored_dst,
                               seconds)
+        if self.bus.enabled:
+            t = self._event_time(now)
+            self.bus.instant(
+                "demote", "store", f"tier:{dst.name}", t,
+                args={"node": node_id, "src": src.name, "dst": dst.name,
+                      "logical_gb": logical, "stored_gb": stored_dst,
+                      "encode_s": self._encode_seconds(dst_idx, logical),
+                      "seconds": seconds,
+                      "bypass": dst_idx != idx + 1})
+            if dst_idx != idx + 1:
+                self.bus.instant(
+                    "bypass", "store", f"tier:{dst.name}", t,
+                    args={"node": node_id,
+                          "skipped": self.tiers[idx + 1].name})
+            self._emit_occupancy(t, idx, dst_idx)
         charges.append(SpillCharge(
             node_id=node_id, src=src.name, dst=dst.name, size=logical,
             seconds=seconds))
@@ -948,6 +1039,14 @@ class TieredLedger(MemoryLedger):
                 seconds = (tier.write_seconds(stored, now)
                            + self._encode_seconds(idx, size))
                 self._record_spill_in(idx, node_id, size, stored, seconds)
+                if self.bus.enabled:
+                    t = self._event_time(now)
+                    self.bus.instant(
+                        "spill-insert", "store", f"tier:{tier.name}", t,
+                        args={"node": node_id, "dst": tier.name,
+                              "logical_gb": size, "stored_gb": stored,
+                              "seconds": seconds})
+                    self._emit_occupancy(t, idx)
                 charges.append(SpillCharge(
                     node_id=node_id, src="new", dst=tier.name, size=size,
                     seconds=seconds))
@@ -983,6 +1082,13 @@ class TieredLedger(MemoryLedger):
         telemetry.promote_count += 1
         telemetry.promote_logical_gb += logical
         telemetry.promote_seconds += seconds
+        if self.bus.enabled:
+            t = self._event_time(now)
+            self.bus.instant(
+                "promote", "store", f"tier:{src.name}", t,
+                args={"node": node_id, "src": src.name,
+                      "logical_gb": logical, "seconds": seconds})
+            self._emit_occupancy(t, 0, idx)
         return SpillCharge(node_id=node_id, src=src.name, dst="ram",
                            size=logical, seconds=seconds)
 
@@ -1038,6 +1144,13 @@ class TieredLedger(MemoryLedger):
                     if parent not in self._prefetch_missed:
                         self.prefetch_misses += 1
                         self._prefetch_missed.add(parent)
+                        if self.bus.enabled:
+                            self.bus.instant(
+                                "prefetch-miss", "store",
+                                f"tier:{self.tiers[idx].name}",
+                                self._event_time(now),
+                                args={"node": parent,
+                                      "logical_gb": logical})
                     continue
                 read = self.tier_read_seconds(parent, now=now)
                 charge = self._promote_locked(parent, now)
@@ -1048,6 +1161,12 @@ class TieredLedger(MemoryLedger):
                     continue
                 self.prefetch_count += 1
                 self.prefetch_bytes += charge.size
+                if self.bus.enabled:
+                    self.bus.instant(
+                        "prefetch-hit", "store", f"tier:{charge.src}",
+                        self._event_time(now),
+                        args={"node": parent, "logical_gb": charge.size,
+                              "hidden_s": read + charge.seconds})
                 hidden += read + charge.seconds
             self.prefetch_hidden_seconds += hidden
         return hidden
@@ -1130,15 +1249,25 @@ class TieredLedger(MemoryLedger):
             telemetry.wall_read_gb += read_gb
             telemetry.wall_promote_seconds += promote_seconds
             telemetry.wall_promote_gb += promote_gb
+            if self.bus.enabled:
+                self.bus.instant(
+                    "wall-io", "store", f"tier:{self.tiers[index].name}",
+                    self.bus.wall(),
+                    args={"spill_s": spill_seconds, "spill_gb": spill_gb,
+                          "read_s": read_seconds, "read_gb": read_gb,
+                          "promote_s": promote_seconds,
+                          "promote_gb": promote_gb})
 
     def record_arbitration(self, stalled: bool, stall_seconds: float = 0.0,
-                           avoided: float = 0.0) -> None:
+                           avoided: float = 0.0,
+                           now: float = 0.0) -> None:
         """Count one stall-vs-spill decision (see ``arbitrate_admission``).
 
         Args:
             stalled: True when stalling won the arbitration.
             stall_seconds: simulated seconds the winner stalled for.
             avoided: the modeled spill cost the stall avoided.
+            now: timeline position of the decision (for tracing only).
         """
         with self._lock:
             if stalled:
@@ -1147,6 +1276,12 @@ class TieredLedger(MemoryLedger):
                 self.avoided_spill_seconds += avoided
             else:
                 self.spill_wins += 1
+            if self.bus.enabled:
+                self.bus.instant(
+                    "arbitration", "store", "tier:ram",
+                    self._event_time(now),
+                    args={"winner": "stall" if stalled else "spill",
+                          "stall_s": stall_seconds, "avoided_s": avoided})
 
     def tier_read_seconds(self, node_id: str, now: float = 0.0) -> float:
         """Device + decode seconds to read a resident entry (0 for RAM;
@@ -1162,11 +1297,18 @@ class TieredLedger(MemoryLedger):
             seconds = tier.read_seconds(tier.ledger.size_of(node_id), now)
             if idx > 0:
                 logical = self._logical_size(idx, node_id)
-                seconds += self._entry_decode_seconds(node_id, logical)
+                decode = self._entry_decode_seconds(node_id, logical)
+                seconds += decode
                 telemetry = self._telemetry[idx]
                 telemetry.read_count += 1
                 telemetry.read_logical_gb += logical
                 telemetry.read_seconds += seconds
+                if self.bus.enabled:
+                    self.bus.instant(
+                        "tier-read", "store", f"tier:{tier.name}",
+                        self._event_time(now),
+                        args={"node": node_id, "logical_gb": logical,
+                              "decode_s": decode, "seconds": seconds})
             return seconds
 
     def _observed_report(self, index: int) -> dict:
