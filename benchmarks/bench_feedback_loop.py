@@ -26,11 +26,9 @@ When ``FEEDBACK_BENCH_JSON`` is set, the sweep's raw data is written
 there (the CI job uploads it as an artifact).
 """
 
-import json
 import math
-import os
 
-from repro.bench import experiments
+from repro.bench import emit_result_json, experiments
 
 
 def test_feedback_loop_sweep(benchmark, show):
@@ -38,14 +36,7 @@ def test_feedback_loop_sweep(benchmark, show):
                                 rounds=1, iterations=1)
     show(result)
 
-    artifact = os.environ.get("FEEDBACK_BENCH_JSON")
-    if artifact:
-        payload = {"title": result.title, "headers": result.headers,
-                   "rows": result.rows,
-                   "data": {key: value for key, value
-                            in result.data.items()}}
-        with open(artifact, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, default=str)
+    emit_result_json(result, env_var="FEEDBACK_BENCH_JSON")
 
     fractions = result.data["fractions"]
     static = result.data["static"]

@@ -30,13 +30,12 @@ there as JSON — the perf-trajectory artifact CI commits at the repo
 root as ``BENCH_<date>.json``.
 """
 
-import json
 import os
 
 import numpy as np
 import pytest
 
-from repro.bench import experiments
+from repro.bench import emit_result_json, experiments
 from repro.db import columnar_codec
 from repro.db.table import Table
 from repro.store.config import SPILL_CODECS
@@ -112,13 +111,6 @@ def test_columnar_codec_low_cardinality_and_sequences():
     assert ratios["columnar"] > 2.0 * ratios["zlib"]
 
 
-def _emit_artifact(payload: dict) -> None:
-    artifact = os.environ.get("RAMCODEC_BENCH_JSON")
-    if artifact:
-        with open(artifact, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, default=str)
-
-
 def test_emit_bench_artifact():
     """Write the perf-trajectory JSON when RAMCODEC_BENCH_JSON is set
     (kept as its own test so the sweep above stays a pure benchmark)."""
@@ -128,7 +120,5 @@ def test_emit_bench_artifact():
     tables = generate_tpcds_tables(scale_gb=0.02, seed=1)
     codec_ratios = {name: _codec_ratios(table)
                     for name, table in sorted(tables.items())}
-    _emit_artifact({"experiment": "ramcodec", "title": result.title,
-                    "headers": result.headers, "rows": result.rows,
-                    "data": result.data,
-                    "tpcds_codec_ratios": codec_ratios})
+    emit_result_json(result, env_var="RAMCODEC_BENCH_JSON",
+                     tpcds_codec_ratios=codec_ratios)

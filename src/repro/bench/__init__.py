@@ -7,7 +7,11 @@ directory wires each driver into pytest-benchmark.
 """
 
 from repro.bench.methods import FIGURE9_METHODS, FIGURE12_METHODS, run_method
-from repro.bench.report import format_table
+from repro.bench.report import (
+    emit_result_json,
+    format_table,
+    result_payload,
+)
 from repro.bench import experiments
 
 __all__ = [
@@ -15,5 +19,7 @@ __all__ = [
     "FIGURE12_METHODS",
     "run_method",
     "format_table",
+    "result_payload",
+    "emit_result_json",
     "experiments",
 ]

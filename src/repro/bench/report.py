@@ -1,7 +1,9 @@
-"""Plain-text rendering of experiment results."""
+"""Plain-text rendering of experiment results + artifact emission."""
 
 from __future__ import annotations
 
+import json
+import os
 from typing import Sequence
 
 
@@ -43,3 +45,49 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence],
 
 def format_speedup(value: float) -> str:
     return f"{value:.2f}x"
+
+
+def result_payload(result, **extra) -> dict:
+    """The canonical JSON shape of one experiment's data — the
+    ``BENCH_*.json``/artifact schema :mod:`repro.bench.trajectory`
+    validates (``experiment``/``title``/``headers``/``rows``/``data``),
+    plus any ``extra`` side-band keys.
+
+    ``result`` is an :class:`~repro.bench.experiments.ExperimentResult`
+    (or anything with the same attributes).
+    """
+    payload = {
+        "experiment": result.experiment_id,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [list(row) for row in result.rows],
+        "data": dict(result.data),
+    }
+    overlap = set(payload) & set(extra)
+    if overlap:
+        raise ValueError(f"extra keys {sorted(overlap)} would shadow "
+                         f"the schema's required keys")
+    payload.update(extra)
+    return payload
+
+
+def emit_result_json(result, path: str | None = None,
+                     env_var: str | None = None, **extra) -> str | None:
+    """Write :func:`result_payload` as JSON — the one helper behind
+    every ``bench_*.py`` artifact dump.
+
+    ``path`` names the output directly; ``env_var`` looks the path up
+    in the environment instead (the benchmarks' opt-in convention,
+    e.g. ``RAMCODEC_BENCH_JSON``).  Returns the path written, or
+    ``None`` when the environment variable is unset/empty.
+    """
+    if path is None:
+        if env_var is None:
+            raise ValueError("pass path or env_var")
+        path = os.environ.get(env_var)
+        if not path:
+            return None
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result_payload(result, **extra), handle, indent=2,
+                  default=str)
+    return path

@@ -148,7 +148,18 @@ def check_files(paths: list[str],
         date = snapshot_date(path)
         if date is not None:
             loaded.append((date, path, payload))
-    loaded.sort()
+    loaded.sort(key=lambda item: item[:2])
+    seen: dict[tuple, str] = {}
+    for date, path, payload in loaded:
+        key = (date, payload.get("experiment"))
+        if key in seen:
+            # two snapshots of one experiment on one date leave the
+            # gate without an unambiguous baseline ordering
+            problems.append(
+                f"{path}: duplicate snapshot date {date} for experiment "
+                f"{payload.get('experiment')!r} (also {seen[key]})")
+        else:
+            seen[key] = path
     for (_, old_path, old), (_, new_path, new) in zip(loaded, loaded[1:]):
         if old.get("experiment") != new.get("experiment"):
             continue

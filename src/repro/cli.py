@@ -18,7 +18,16 @@ Subcommands:
 * ``workload`` — emit one of the paper's five workloads as graph JSON.
 * ``bench`` — run one experiment driver (fig2..fig14, table3..table5,
   plus the repo's own ``parallel``/``spill``/``spillplan``/
-  ``spillcodec``/``feedback`` sweeps).
+  ``spillcodec``/``feedback`` sweeps), or ``bench matrix CONFIG`` —
+  the standing experiment orchestrator: expand a declarative TOML/JSON
+  benchmark matrix (backend x workload x RAM fraction x codec x
+  feedback x rung x seed), run every cell with bounded parallelism,
+  per-trial timeout and crash isolation, persist each finished cell to
+  the run directory (``--resume DIR`` continues an interrupted matrix
+  without re-running completed cells, ``--retry-failed`` re-opens
+  failed cells), and aggregate into a schema-valid ``BENCH_<date>.json``
+  plus a markdown report with per-axis pivot tables (``--report``
+  prints it).
 * ``minidb`` — refresh a demo SQL workload on the real MiniDB backend;
   ``--spill-dir`` arms real spill-to-disk (``--spill-codec zlib``
   compresses the dumps for real), ``--ram-compressed GB`` inserts the
@@ -203,8 +212,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p_wl.add_argument("--partitioned", action="store_true")
     p_wl.add_argument("--output", help="write graph JSON here")
 
-    p_bench = sub.add_parser("bench", help="run one paper experiment")
-    p_bench.add_argument("experiment", choices=sorted(_EXPERIMENTS),
+    p_bench = sub.add_parser(
+        "bench", help="run one paper experiment, or a benchmark matrix")
+    p_bench.add_argument("experiment",
+                         choices=sorted(_EXPERIMENTS) + ["matrix"],
                          help="experiment id: fig2..fig14/table3..table5 "
                               "reproduce the paper; 'parallel' measures "
                               "the memory-bounded scheduler; 'spill' "
@@ -216,7 +227,39 @@ def _build_parser() -> argparse.ArgumentParser:
                               "measures observed-cost replanning and "
                               "the adaptive codec; 'ramcodec' sweeps "
                               "the compressed-in-RAM rung against "
-                              "uncompressed RAM and straight-to-SSD")
+                              "uncompressed RAM and straight-to-SSD; "
+                              "'matrix' runs a declarative benchmark "
+                              "matrix from a config file")
+    p_bench.add_argument("config", nargs="?",
+                         help="matrix config (TOML or JSON; required "
+                              "for 'matrix', e.g. "
+                              "benchmarks/matrix_smoke.toml)")
+    p_bench.add_argument("--run-dir", metavar="DIR",
+                         help="matrix run directory (default: "
+                              "matrix_runs/<config name>); holds "
+                              "per-trial results, BENCH_<date>.json "
+                              "and report.md")
+    p_bench.add_argument("--resume", metavar="DIR",
+                         help="continue an interrupted matrix in DIR: "
+                              "cells with a stored terminal result are "
+                              "not re-executed")
+    p_bench.add_argument("--report", action="store_true",
+                         help="print the matrix's markdown report "
+                              "after the run")
+    p_bench.add_argument("--jobs", type=int, metavar="N",
+                         help="bounded trial parallelism (default: the "
+                              "config's [run] jobs)")
+    p_bench.add_argument("--date", metavar="YYYY-MM-DD",
+                         help="snapshot date for BENCH_<date>.json "
+                              "(default: today)")
+    p_bench.add_argument("--inject-fail", action="append", default=[],
+                         metavar="PATTERN",
+                         help="fail every trial whose id contains "
+                              "PATTERN (exercises crash isolation: the "
+                              "cell reports failed, the run completes)")
+    p_bench.add_argument("--retry-failed", action="store_true",
+                         help="with --resume: re-execute failed/timeout "
+                              "cells (ok cells are never re-run)")
 
     p_db = sub.add_parser(
         "minidb", help="refresh a demo SQL workload on the real MiniDB")
@@ -583,44 +626,65 @@ def _cmd_workload(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    if args.experiment == "matrix":
+        return _cmd_bench_matrix(args)
+    if args.config:
+        print("repro-sc bench: error: a config file only applies to "
+              "'bench matrix'", file=sys.stderr)
+        return 2
     result = _EXPERIMENTS[args.experiment]()
     print(result.render())
     return 0
 
 
-def _demo_workload(data_dir: str, rows: int, seed: int):
-    """A small six-MV SQL workload over one generated base table."""
-    import numpy as np
+def _cmd_bench_matrix(args) -> int:
+    import pathlib
 
-    from repro.db.engine import MiniDB, MvDefinition, SqlWorkload
-    from repro.db.table import Table
+    from repro.bench.experiment import load_config
+    from repro.bench.orchestrator import run_matrix
 
-    db = MiniDB(data_dir)
-    rng = np.random.default_rng(seed)
-    db.register_table("events", Table({
-        "user": rng.integers(0, 50, rows),
-        "amount": rng.uniform(0, 10, rows),
-    }))
-    return SqlWorkload(db=db, definitions=[
-        MvDefinition("mv_recent",
-                     "SELECT user, amount FROM events WHERE amount > 1"),
-        MvDefinition("mv_big",
-                     "SELECT user, amount FROM mv_recent WHERE amount > 2"),
-        MvDefinition("mv_spend",
-                     "SELECT user, SUM(amount) AS spend "
-                     "FROM mv_recent GROUP BY user"),
-        MvDefinition("mv_whales",
-                     "SELECT user, amount FROM mv_big WHERE amount > 5"),
-        MvDefinition("mv_big_spend",
-                     "SELECT user, SUM(amount) AS spend "
-                     "FROM mv_big GROUP BY user"),
-        MvDefinition("mv_vip",
-                     "SELECT user, amount FROM mv_whales WHERE amount > 8"),
-    ])
+    if not args.config:
+        print("repro-sc bench matrix: error: a config file is required "
+              "(e.g. benchmarks/matrix_smoke.toml)", file=sys.stderr)
+        return 2
+    if args.run_dir and args.resume:
+        print("repro-sc bench matrix: error: pass --run-dir for a "
+              "fresh run or --resume DIR to continue one, not both",
+              file=sys.stderr)
+        return 2
+    try:
+        config = load_config(args.config)
+        if args.resume:
+            run_dir = args.resume
+        elif args.run_dir:
+            run_dir = args.run_dir
+        else:
+            run_dir = str(pathlib.Path("matrix_runs") / config.name)
+        run = run_matrix(
+            config, run_dir, jobs=args.jobs, resume=bool(args.resume),
+            date=args.date, fail_matching=tuple(args.inject_fail),
+            retry_failed=args.retry_failed,
+            progress=lambda message: print(message, file=sys.stderr))
+    except ValidationError as exc:
+        print(f"repro-sc bench matrix: error: {exc}", file=sys.stderr)
+        return 2
+    print(run.summary())
+    if run.bench_path:
+        print(f"snapshot: {run.bench_path}")
+        print(f"report:   {run.report_path}")
+    if args.report and run.report_path:
+        print()
+        with open(run.report_path, encoding="utf-8") as handle:
+            print(handle.read())
+    if run.interrupted:
+        return 130
+    return 0
 
 
 def _run_minidb(args, data_dir: str, bus=None):
-    workload = _demo_workload(data_dir, rows=args.rows, seed=args.seed)
+    from repro.db.engine import demo_workload
+
+    workload = demo_workload(data_dir, rows=args.rows, seed=args.seed)
     profiled = workload.profile()
     adapt = CodecAdaptConfig() if args.adaptive_codec else None
     controller = Controller(spill_dir=args.spill_dir,

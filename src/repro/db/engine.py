@@ -233,3 +233,41 @@ class SqlWorkload:
             for name in order:
                 self.db.drop(name)
         return graph
+
+
+# ----------------------------------------------------------------------
+def demo_workload(data_dir: str, rows: int = 120_000,
+                  seed: int = 0) -> SqlWorkload:
+    """A small six-MV SQL workload over one generated base table.
+
+    The shared demo both the CLI ``minidb`` subcommand and the
+    experiment orchestrator's MiniDB cells refresh: two filter chains
+    and two aggregations over a generated ``events`` table, deep
+    enough that a shrunken catalog genuinely spills.
+    """
+    import numpy as np
+
+    from repro.db.table import Table
+
+    db = MiniDB(data_dir)
+    rng = np.random.default_rng(seed)
+    db.register_table("events", Table({
+        "user": rng.integers(0, 50, rows),
+        "amount": rng.uniform(0, 10, rows),
+    }))
+    return SqlWorkload(db=db, definitions=[
+        MvDefinition("mv_recent",
+                     "SELECT user, amount FROM events WHERE amount > 1"),
+        MvDefinition("mv_big",
+                     "SELECT user, amount FROM mv_recent WHERE amount > 2"),
+        MvDefinition("mv_spend",
+                     "SELECT user, SUM(amount) AS spend "
+                     "FROM mv_recent GROUP BY user"),
+        MvDefinition("mv_whales",
+                     "SELECT user, amount FROM mv_big WHERE amount > 5"),
+        MvDefinition("mv_big_spend",
+                     "SELECT user, SUM(amount) AS spend "
+                     "FROM mv_big GROUP BY user"),
+        MvDefinition("mv_vip",
+                     "SELECT user, amount FROM mv_whales WHERE amount > 8"),
+    ])

@@ -1,0 +1,173 @@
+"""Edge cases of the ``BENCH_*.json`` trajectory validator + gate.
+
+Complements the happy-path coverage in ``test_obs.py``: single
+snapshots, duplicate dates, tracked metrics appearing/disappearing
+between snapshots, and the module's CLI exit-code contract (0 clean /
+1 on regression or schema problems / 2 on usage errors) asserted
+through a real subprocess — the exact interface CI calls.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.trajectory import (
+    DEFAULT_NOISE,
+    check_files,
+    regression_gate,
+    tracked_metrics,
+)
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+
+def snapshot(seconds_by_metric: dict, experiment: str = "edge") -> dict:
+    return {
+        "experiment": experiment,
+        "title": "edge-case snapshot",
+        "headers": ["arm", "s"],
+        "rows": [[key, value] for key, value in
+                 sorted(seconds_by_metric.items())],
+        "data": {"totals": {key: {"p": value} for key, value in
+                            seconds_by_metric.items()}},
+    }
+
+
+def write(path: pathlib.Path, payload: dict) -> str:
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return str(path)
+
+
+class TestSingleSnapshot:
+    def test_one_file_validates_with_no_gating(self, tmp_path):
+        path = write(tmp_path / "BENCH_2026-01-01.json",
+                     snapshot({"a": 1.0}))
+        assert check_files([path]) == []
+
+    def test_one_undated_file_still_schema_checked(self, tmp_path):
+        path = write(tmp_path / "whatever.json", snapshot({"a": 1.0}))
+        assert check_files([path]) == []
+        bad = write(tmp_path / "bad.json", {"experiment": "x"})
+        assert any("missing required key" in problem
+                   for problem in check_files([bad]))
+
+
+class TestDuplicateDates:
+    @staticmethod
+    def _two(tmp_path, payload_a, payload_b) -> tuple[str, str]:
+        os.makedirs(tmp_path / "a")
+        os.makedirs(tmp_path / "b")
+        return (write(tmp_path / "a" / "BENCH_2026-01-01.json",
+                      payload_a),
+                write(tmp_path / "b" / "BENCH_2026-01-01.json",
+                      payload_b))
+
+    def test_same_date_same_experiment_flagged(self, tmp_path):
+        a, b = self._two(tmp_path, snapshot({"a": 1.0}),
+                         snapshot({"a": 1.0}))
+        problems = check_files([a, b])
+        assert len(problems) == 1
+        assert "duplicate snapshot date" in problems[0]
+        assert a in problems[0] and b in problems[0]
+
+    def test_same_date_different_experiments_allowed(self, tmp_path):
+        a, b = self._two(tmp_path,
+                         snapshot({"a": 1.0}, experiment="one"),
+                         snapshot({"a": 9.0}, experiment="two"))
+        assert check_files([a, b]) == []
+
+
+class TestMetricChurn:
+    def test_metric_appearing_is_not_a_regression(self, tmp_path):
+        old = write(tmp_path / "BENCH_2026-01-01.json",
+                    snapshot({"a": 1.0}))
+        new = write(tmp_path / "BENCH_2026-01-02.json",
+                    snapshot({"a": 1.0, "b": 99.0}))
+        assert check_files([old, new]) == []
+
+    def test_metric_disappearing_is_not_a_regression(self, tmp_path):
+        old = write(tmp_path / "BENCH_2026-01-01.json",
+                    snapshot({"a": 1.0, "b": 1.0}))
+        new = write(tmp_path / "BENCH_2026-01-02.json",
+                    snapshot({"a": 1.0}))
+        assert check_files([old, new]) == []
+
+    def test_surviving_metric_still_gated_through_churn(self, tmp_path):
+        old = write(tmp_path / "BENCH_2026-01-01.json",
+                    snapshot({"a": 1.0, "gone": 1.0}))
+        new = write(tmp_path / "BENCH_2026-01-02.json",
+                    snapshot({"a": 2.0, "fresh": 1.0}))
+        problems = check_files([old, new])
+        assert len(problems) == 1
+        assert "totals.a.p" in problems[0]
+
+    def test_scalar_and_nested_arm_shapes_both_tracked(self):
+        payload = snapshot({"a": 1.0})
+        payload["data"]["totals"]["flat"] = 3.0
+        assert tracked_metrics(payload) == {"totals.a.p": 1.0,
+                                            "totals.flat": 3.0}
+
+    def test_zero_baseline_skipped(self):
+        old, new = snapshot({"a": 0.0}), snapshot({"a": 5.0})
+        assert regression_gate(old, new, noise=DEFAULT_NOISE) == []
+
+
+class TestCliExitCodes:
+    """The subprocess contract CI relies on."""
+
+    def run_cli(self, *argv: str) -> subprocess.CompletedProcess:
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH")
+            else "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.bench.trajectory", *argv],
+            capture_output=True, text=True, env=env, timeout=60)
+
+    def test_exit_zero_on_clean_snapshots(self, tmp_path):
+        old = write(tmp_path / "BENCH_2026-01-01.json",
+                    snapshot({"a": 10.0}))
+        new = write(tmp_path / "BENCH_2026-01-02.json",
+                    snapshot({"a": 10.1}))
+        proc = self.run_cli(old, new)
+        assert proc.returncode == 0, proc.stderr
+        assert "2 snapshots valid" in proc.stdout
+
+    def test_exit_one_on_regression(self, tmp_path):
+        old = write(tmp_path / "BENCH_2026-01-01.json",
+                    snapshot({"a": 10.0}))
+        new = write(tmp_path / "BENCH_2026-01-02.json",
+                    snapshot({"a": 20.0}))
+        proc = self.run_cli(old, new)
+        assert proc.returncode == 1
+        assert "totals.a.p" in proc.stderr
+
+    def test_exit_one_on_schema_error(self, tmp_path):
+        bad = write(tmp_path / "BENCH_2026-01-01.json",
+                    {"experiment": "x"})
+        proc = self.run_cli(bad)
+        assert proc.returncode == 1
+        assert "missing required key" in proc.stderr
+
+    def test_exit_two_without_arguments(self):
+        proc = self.run_cli()
+        assert proc.returncode == 2
+        assert "usage" in proc.stderr
+
+    def test_exit_two_on_unreadable_file(self, tmp_path):
+        missing = str(tmp_path / "BENCH_2026-01-01.json")
+        proc = self.run_cli(missing)
+        assert proc.returncode == 2
+        assert "cannot read" in proc.stderr
+
+    def test_exit_two_on_invalid_json(self, tmp_path):
+        path = tmp_path / "BENCH_2026-01-01.json"
+        path.write_text("{not json", encoding="utf-8")
+        proc = self.run_cli(str(path))
+        assert proc.returncode == 2
+        assert "cannot read" in proc.stderr
