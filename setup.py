@@ -1,4 +1,8 @@
-"""Legacy shim so `pip install -e . --no-use-pep517` works offline."""
+"""Legacy shim so `pip install -e . --no-use-pep517` works offline.
+
+All real metadata lives in pyproject.toml (PEP 621); setuptools reads
+it from there on this code path too.
+"""
 from setuptools import setup
 
 setup()

@@ -1,0 +1,16 @@
+"""``python -m repro.analysis`` entry point."""
+
+import os
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # `repro-lint --explain ... | head` closes our stdout early;
+        # that is not an error worth a traceback
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        sys.exit(0)

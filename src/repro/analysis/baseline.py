@@ -1,0 +1,120 @@
+"""Baseline I/O and the ratchet.
+
+The committed baseline records, per fingerprint (code, path, stripped
+source line), how many violations are tolerated — plus an inventory of
+how many violations each file suppresses inline.  The ratchet:
+
+* a fingerprint count may only *decrease* — anything beyond the
+  baselined count is new and fails the run;
+* new or grown suppression entries also fail, so silencing a rule is
+  always a reviewed change (``--update-baseline`` re-records both).
+
+Fingerprints use the stripped source line, not the line number, so
+unrelated edits that shift code do not churn the baseline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from .config import LintConfigError
+from .engine import AnalysisResult, Violation
+
+BASELINE_VERSION = 1
+
+
+@dataclasses.dataclass
+class Baseline:
+    violations: dict[tuple[str, str, str], int]
+    suppressions: dict[tuple[str, str], int]
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls({}, {})
+
+
+def load(path: Path) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not path.is_file():
+        return Baseline.empty()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise LintConfigError(f"cannot parse baseline {path}: {exc}")
+    if not isinstance(payload, dict) or payload.get("version") != \
+            BASELINE_VERSION:
+        raise LintConfigError(
+            f"baseline {path} has unsupported format (want version "
+            f"{BASELINE_VERSION})")
+    try:
+        violations = {
+            (e["code"], e["path"], e["snippet"]): int(e["count"])
+            for e in payload.get("violations", [])}
+        suppressions = {
+            (e["code"], e["path"]): int(e["count"])
+            for e in payload.get("suppressions", [])}
+    except (KeyError, TypeError, ValueError) as exc:
+        raise LintConfigError(f"baseline {path} is malformed: {exc}")
+    return Baseline(violations, suppressions)
+
+
+def save(path: Path, result: AnalysisResult) -> None:
+    """Write the baseline matching ``result`` (deterministic order)."""
+    counts: dict[tuple[str, str, str], int] = {}
+    for violation in result.violations:
+        counts[violation.fingerprint] = \
+            counts.get(violation.fingerprint, 0) + 1
+    payload = {
+        "version": BASELINE_VERSION,
+        "violations": [
+            {"code": code, "path": rel, "snippet": snippet, "count": n}
+            for (code, rel, snippet), n in sorted(counts.items())],
+        "suppressions": [
+            {"code": code, "path": rel, "count": n}
+            for (code, rel), n in
+            sorted(result.suppression_inventory().items())],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n",
+                    encoding="utf-8")
+
+
+@dataclasses.dataclass
+class Delta:
+    """Current run vs baseline."""
+
+    new: list[Violation]                      # beyond baselined counts
+    fixed: int                                # baselined but now gone
+    new_suppressions: list[tuple[str, str, int, int]]  # code,path,cur,base
+    stale_suppressions: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.new and not self.new_suppressions
+
+
+def compare(result: AnalysisResult, baseline: Baseline) -> Delta:
+    groups: dict[tuple[str, str, str], list[Violation]] = {}
+    for violation in result.violations:
+        groups.setdefault(violation.fingerprint, []).append(violation)
+    new: list[Violation] = []
+    for fingerprint, members in sorted(groups.items()):
+        tolerated = baseline.violations.get(fingerprint, 0)
+        if len(members) > tolerated:
+            members = sorted(members, key=lambda v: v.line)
+            new.extend(members[tolerated:])
+    fixed = sum(
+        max(0, tolerated - len(groups.get(fingerprint, [])))
+        for fingerprint, tolerated in baseline.violations.items())
+
+    inventory = result.suppression_inventory()
+    new_suppressions = [
+        (code, rel, count, baseline.suppressions.get((code, rel), 0))
+        for (code, rel), count in sorted(inventory.items())
+        if count > baseline.suppressions.get((code, rel), 0)]
+    stale = sum(
+        1 for key, count in baseline.suppressions.items()
+        if inventory.get(key, 0) < count)
+    return Delta(sorted(new, key=lambda v: (v.path, v.line, v.code)),
+                 fixed, new_suppressions, stale)

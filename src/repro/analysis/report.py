@@ -1,0 +1,91 @@
+"""Plain-text rendering of an analysis run (stdout + CI artifact)."""
+
+from __future__ import annotations
+
+from .baseline import Delta
+from .engine import HYGIENE_CODE, AnalysisResult, Violation
+from .rules import ALL_RULES
+
+#: ``--explain`` text for the hygiene pseudo-rule.
+HYGIENE_EXPLANATION = """\
+REP000 covers the checker's own hygiene: files that fail to parse,
+malformed `# repro-lint:` directives, suppressions without a
+justification, suppressions naming unknown codes, and suppressions
+that no longer match any violation.  REP000 findings cannot be
+suppressed or baselined — fix the directive (or delete it) instead.
+"""
+
+
+def rule_table() -> str:
+    lines = [f"  {rule.code}  {rule.name:<28} {rule.summary}"
+             for rule in ALL_RULES]
+    lines.append(f"  {HYGIENE_CODE}  {'suppression-hygiene':<28} "
+                 f"malformed/unjustified/stale repro-lint directives")
+    return "\n".join(lines)
+
+
+def explain(code: str) -> str | None:
+    if code == HYGIENE_CODE:
+        return f"{HYGIENE_CODE} suppression-hygiene\n\n" \
+               + HYGIENE_EXPLANATION
+    for rule in ALL_RULES:
+        if rule.code == code:
+            return f"{rule.code} {rule.name}\n\n{rule.explanation}"
+    return None
+
+
+def _block(title: str, violations: list[Violation]) -> list[str]:
+    lines = [f"{title}:"]
+    for violation in violations:
+        lines.append(f"  {violation.render()}")
+        if violation.snippet:
+            lines.append(f"      {violation.snippet}")
+    return lines
+
+
+def render(result: AnalysisResult, delta: Delta, files: int) -> str:
+    """The full report: new findings, hygiene problems, summary."""
+    lines: list[str] = []
+    if delta.new:
+        lines.extend(_block("new violations (not in baseline)",
+                            delta.new))
+    if result.hygiene:
+        if lines:
+            lines.append("")
+        lines.extend(_block("suppression/baseline hygiene "
+                            f"({HYGIENE_CODE}, never baselined)",
+                            result.hygiene))
+    if delta.new_suppressions:
+        if lines:
+            lines.append("")
+        lines.append("new/grown suppressions (audit, then "
+                     "`--update-baseline` to accept):")
+        for code, rel, current, tolerated in delta.new_suppressions:
+            lines.append(f"  {rel}: {code} suppressed {current}x "
+                         f"(baseline tolerates {tolerated})")
+    if lines:
+        lines.append("")
+
+    by_code: dict[str, int] = {}
+    for violation in result.violations:
+        by_code[violation.code] = by_code.get(violation.code, 0) + 1
+    summary = [f"checked {files} files"]
+    if result.violations:
+        parts = ", ".join(f"{code}:{count}"
+                          for code, count in sorted(by_code.items()))
+        baselined = len(result.violations) - len(delta.new)
+        summary.append(f"{len(result.violations)} violation(s) "
+                       f"[{parts}], {baselined} baselined, "
+                       f"{len(delta.new)} new")
+    else:
+        summary.append("no violations")
+    if result.suppressed:
+        summary.append(f"{len(result.suppressed)} suppressed inline")
+    if delta.fixed:
+        summary.append(f"{delta.fixed} baselined violation(s) fixed — "
+                       f"tighten with --update-baseline")
+    if delta.stale_suppressions:
+        summary.append(f"{delta.stale_suppressions} baseline "
+                       f"suppression entr(y/ies) now stale")
+    lines.append("; ".join(summary))
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Rule registry.  Adding a rule = writing a module with a `Rule`
+subclass and listing an instance here."""
+
+from .base import Rule
+from .busguard import BusGuardRule
+from .errors_taxonomy import ErrorTaxonomyRule
+from .extras_schema import ExtrasSchemaRule
+from .locks import LockDisciplineRule
+from .rng import RngRule
+from .wallclock import WallClockRule
+
+ALL_RULES: tuple[Rule, ...] = (
+    WallClockRule(),
+    RngRule(),
+    LockDisciplineRule(),
+    BusGuardRule(),
+    ExtrasSchemaRule(),
+    ErrorTaxonomyRule(),
+)
+
+RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}
+
+__all__ = ["ALL_RULES", "RULES_BY_CODE", "Rule"]

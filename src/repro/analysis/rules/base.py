@@ -1,0 +1,22 @@
+"""Rule interface: a code, a one-line summary, a long-form
+explanation (served by ``--explain``), and a ``check`` pass."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..engine import Project, Violation
+
+
+class Rule:
+    code: str = "REP000"
+    name: str = "base"
+    summary: str = ""
+    explanation: str = ""
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, file, line: int, message: str) -> Violation:
+        return Violation(self.code, file.rel, line, message,
+                         file.snippet(line))

@@ -1,0 +1,103 @@
+"""REP004 — every event-bus emission is guarded by ``bus.enabled``."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..config import path_matches
+from ..engine import Project, Violation, dotted_name, enclosing_function
+from .base import Rule
+
+#: The EventBus emission surface.
+EMIT_METHODS = frozenset({"span", "instant", "counter"})
+
+
+class BusGuardRule(Rule):
+    code = "REP004"
+    name = "bus-guard"
+    summary = ("every bus.span/instant/counter site guarded by "
+               "`bus.enabled` or routed through obs/events.py helpers")
+    explanation = """\
+The observability invariant is <2% overhead when events are off
+(`bench_obs_overhead.py`).  That holds because every emission site
+pays only one attribute read in the off case: either the call is
+wrapped in `if bus.enabled:` (so the event payload — f-strings, dict
+literals, size math — is never even built), or it goes through the
+NULL_BUS-safe helpers in `obs/events.py`, which are allowlisted as a
+unit (`[tool.repro-lint] bus_helper_files`).
+
+An unguarded `self.bus.counter("tier.occupancy", ...)` still *works*
+against NULL_BUS — the emit is a no-op — but the arguments are
+evaluated eagerly on every call, which is exactly the overhead the
+bench gates against.
+
+Fix: wrap the site in `if bus.enabled:` (or add an early
+`if not self.bus.enabled: return` guard clause), or move the emission
+into an `obs/events.py` helper that takes the raw values.
+"""
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        helpers = project.config.bus_helper_files
+        for file in project.files:
+            if file.tree is None or path_matches(file.rel, helpers):
+                continue
+            for node in ast.walk(file.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if (not isinstance(func, ast.Attribute)
+                        or func.attr not in EMIT_METHODS):
+                    continue
+                receiver = dotted_name(func.value)
+                if receiver is None or receiver.split(".")[-1] != "bus":
+                    continue
+                if _is_guarded(file, node, receiver):
+                    continue
+                yield self.violation(
+                    file, node.lineno,
+                    f"unguarded emission `{receiver}.{func.attr}(...)`; "
+                    f"wrap in `if {receiver}.enabled:` or route through "
+                    f"an obs/events.py helper")
+
+
+def _is_guarded(file, call: ast.Call, receiver: str) -> bool:
+    enabled = f"{receiver}.enabled"
+    parents = file.parents()
+    child: ast.AST = call
+    current = parents.get(call)
+    while current is not None:
+        if isinstance(current, ast.If) and child is not current.test:
+            in_else = any(child is stmt for stmt in current.orelse)
+            if not in_else and _mentions(current.test, enabled):
+                return True
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            break
+        child = current
+        current = parents.get(current)
+    return _has_guard_clause(file, call, enabled)
+
+
+def _mentions(test: ast.expr, enabled: str) -> bool:
+    return any(dotted_name(node) == enabled for node in ast.walk(test))
+
+
+def _has_guard_clause(file, call: ast.Call, enabled: str) -> bool:
+    """An earlier `if not <recv>.enabled: return` in the enclosing
+    function body guards everything after it."""
+    function = enclosing_function(file, call)
+    if function is None:
+        return False
+    for stmt in function.body:
+        if stmt.lineno >= call.lineno:
+            break
+        if not isinstance(stmt, ast.If) or stmt.orelse:
+            continue
+        test = stmt.test
+        if (isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not)
+                and dotted_name(test.operand) == enabled
+                and stmt.body
+                and isinstance(stmt.body[-1],
+                               (ast.Return, ast.Raise, ast.Continue))):
+            return True
+    return False

@@ -1,0 +1,109 @@
+"""REP006 — public entry points raise only ``repro.errors`` types."""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterator
+
+from ..config import path_matches
+from ..engine import Project, Violation, dotted_name
+from .base import Rule
+
+#: Every builtin exception type name (computed, so new interpreter
+#: versions are covered automatically).
+BUILTIN_EXCEPTIONS = frozenset(
+    name for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException))
+
+
+class ErrorTaxonomyRule(Rule):
+    code = "REP006"
+    name = "error-taxonomy"
+    summary = ("cli.py / engine/controller.py raise only repro.errors "
+               "types")
+    explanation = """\
+The CLI maps the `repro.errors` hierarchy to exit codes and
+user-facing messages; callers embedding the Controller catch
+`ReproError` and trust nothing else escapes on purpose.  A bare
+`raise ValueError(...)` in an entry point bypasses that contract: the
+user sees a traceback instead of a diagnostic, and embedding code
+can't distinguish "bad input" from "bug".
+
+The rule scans the entry-point files (`[tool.repro-lint]
+error_taxonomy_files`) and flags any `raise` of a builtin exception
+type.  Allowed: names imported from `repro.errors`, local subclasses
+of those, bare `raise` (re-raise), and raises of variables the checker
+cannot resolve (conservative).
+
+Fix: pick the right `repro.errors` type (`ValidationError` for bad
+input, `ExecutionError` for runtime failures, ...) or add a new
+subclass to `repro/errors.py` if the taxonomy has a real gap.
+"""
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        files = project.config.error_taxonomy_files
+        error_module = project.config.error_module
+        for file in project.files:
+            if file.tree is None or not path_matches(file.rel, files):
+                continue
+            allowed = _allowed_names(file.tree, error_module)
+            for node in ast.walk(file.tree):
+                if not isinstance(node, ast.Raise) or node.exc is None:
+                    continue
+                name = _raised_name(node.exc)
+                if name is None or name in allowed:
+                    continue
+                if name.split(".")[-1] in BUILTIN_EXCEPTIONS:
+                    yield self.violation(
+                        file, node.lineno,
+                        f"entry point raises builtin `{name}`; raise a "
+                        f"`{error_module}` type instead so the CLI exit-"
+                        f"code mapping and embedders' `except "
+                        f"ReproError` keep working")
+
+
+def _raised_name(exc: ast.expr) -> str | None:
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    return dotted_name(exc)
+
+
+def _allowed_names(tree: ast.Module, error_module: str) -> set[str]:
+    """Names bound to repro.errors types: direct imports, module
+    aliases (``errors.X`` is checked via the alias), and local
+    subclasses of an allowed name."""
+    allowed: set[str] = set()
+    module_tail = error_module.rsplit(".", 1)[-1]
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == error_module or (
+                    node.level > 0 and node.module == module_tail):
+                for item in node.names:
+                    allowed.add(item.asname or item.name)
+        elif isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == error_module:
+                    # dotted raises through a module alias
+                    # (`errors.ValidationError`) resolve conservatively:
+                    # the tail is not a builtin name, so they pass.
+                    allowed.add(item.asname or error_module)
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name in allowed:
+                continue
+            for base in node.bases:
+                base_name = dotted_name(base)
+                if base_name is None:
+                    continue
+                if (base_name in allowed
+                        or base_name.split(".", 1)[0] in allowed):
+                    allowed.add(node.name)
+                    changed = True
+                    break
+    return allowed

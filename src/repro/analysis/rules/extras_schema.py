@@ -1,0 +1,205 @@
+"""REP005 — ``extras["tiered_store"]`` keys come from one schema."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Project, SourceFile, Violation, dotted_name
+from .base import Rule
+
+#: The extras slot this rule polices.
+EXTRAS_KEY = "tiered_store"
+
+#: Dict methods whose result still belongs to the report structure.
+_CHAIN_METHODS = frozenset({"get", "items", "values", "keys", "copy",
+                            "setdefault"})
+
+
+class ExtrasSchemaRule(Rule):
+    code = "REP005"
+    name = "extras-schema"
+    summary = ("string keys in RunTrace.extras['tiered_store'] must be "
+               "declared in repro/store/report_schema.py")
+    explanation = """\
+`RunTrace.extras["tiered_store"]` is the telemetry contract between
+the tiered store and everything downstream: the CLI spill report, the
+feedback loop, the bench experiments, the exporters, and the golden
+traces.  Key drift ("spill_gb" on one side, "spill_bytes_gb" on the
+other) fails silently — `.get()` hands back the default and a metric
+quietly flatlines.
+
+All keys live in one place: the frozen key-set constants in
+`repro/store/report_schema.py` (`[tool.repro-lint] schema_module` /
+`schema_constants`).  The rule checks both directions:
+
+* producers (`tier_report`, `_observed_report`, `_maybe_adapt` — see
+  `schema_producers`) may only build dicts whose string keys are
+  declared;
+* consumers — any expression rooted at `*.extras["tiered_store"]`,
+  `*.extras.get("tiered_store")`, or `*.tier_report()`, followed
+  through local names, loops, and `.get(...)` chains — may only
+  subscript/`.get` declared keys.
+
+Fix: add the key to the right constant in report_schema.py (and to
+its docstring table), or fix the typo the checker just caught.
+"""
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        if not project.config.schema_module:
+            return  # REP005 disabled (schema_module unset or "")
+        declared = project.schema_keys()
+        producers: dict[str, set[str]] = {}
+        for entry in project.config.schema_producers:
+            path, _, func = entry.partition("::")
+            producers.setdefault(path, set()).add(func)
+        for file in project.files:
+            if file.tree is None:
+                continue
+            for rel, funcs in producers.items():
+                if file.rel == rel or file.rel.endswith("/" + rel):
+                    yield from self._check_producers(file, funcs, declared)
+            yield from self._check_consumers(file, declared)
+
+    # -- producer side ---------------------------------------------
+
+    def _check_producers(self, file: SourceFile, funcs: set[str],
+                         declared: frozenset[str]) -> Iterator[Violation]:
+        for node in ast.walk(file.tree):
+            if (not isinstance(node, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef))
+                    or node.name not in funcs):
+                continue
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Dict):
+                    for key in inner.keys:
+                        if (isinstance(key, ast.Constant)
+                                and isinstance(key.value, str)
+                                and key.value not in declared):
+                            yield self._undeclared(file, key.lineno,
+                                                   key.value, node.name)
+                elif isinstance(inner, ast.Assign):
+                    for target in inner.targets:
+                        if (isinstance(target, ast.Subscript)
+                                and isinstance(target.slice, ast.Constant)
+                                and isinstance(target.slice.value, str)
+                                and target.slice.value not in declared):
+                            yield self._undeclared(
+                                file, target.lineno, target.slice.value,
+                                node.name)
+
+    def _undeclared(self, file: SourceFile, line: int, key: str,
+                    where: str) -> Violation:
+        return self.violation(
+            file, line,
+            f"undeclared tiered_store key {key!r} in `{where}`; declare "
+            f"it in repro/store/report_schema.py (or fix the typo)")
+
+    # -- consumer side ---------------------------------------------
+
+    def _check_consumers(self, file: SourceFile,
+                         declared: frozenset[str]) -> Iterator[Violation]:
+        parents = file.parents()
+        scopes: dict[ast.AST, list[ast.AST]] = {}
+        for node in ast.walk(file.tree):
+            scopes.setdefault(_scope_of(parents, node, file.tree),
+                              []).append(node)
+        for scope_nodes in scopes.values():
+            yield from self._check_scope(file, scope_nodes, declared)
+
+    def _check_scope(self, file: SourceFile, nodes: list[ast.AST],
+                     declared: frozenset[str]) -> Iterator[Violation]:
+        tracked: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for node in nodes:
+                if isinstance(node, ast.Assign):
+                    if not _reportish(node.value, tracked):
+                        continue
+                    for target in node.targets:
+                        if (isinstance(target, ast.Name)
+                                and target.id not in tracked):
+                            tracked.add(target.id)
+                            changed = True
+                elif isinstance(node, (ast.For, ast.AsyncFor)):
+                    if (_reportish(node.iter, tracked)
+                            and isinstance(node.target, ast.Name)
+                            and node.target.id not in tracked):
+                        tracked.add(node.target.id)
+                        changed = True
+        seen: set[tuple[int, str]] = set()
+        for node in nodes:
+            key: str | None = None
+            if (isinstance(node, ast.Subscript)
+                    and isinstance(node.slice, ast.Constant)
+                    and isinstance(node.slice.value, str)
+                    and _reportish(node.value, tracked)):
+                key = node.slice.value
+            elif (isinstance(node, ast.Call)
+                  and isinstance(node.func, ast.Attribute)
+                  and node.func.attr == "get"
+                  and node.args
+                  and isinstance(node.args[0], ast.Constant)
+                  and isinstance(node.args[0].value, str)
+                  and _reportish(node.func.value, tracked)):
+                key = node.args[0].value
+            if key is None or key == EXTRAS_KEY or key in declared:
+                continue
+            if (node.lineno, key) in seen:
+                continue
+            seen.add((node.lineno, key))
+            yield self.violation(
+                file, node.lineno,
+                f"read of undeclared tiered_store key {key!r}; declare "
+                f"it in repro/store/report_schema.py (or fix the typo)")
+
+
+def _scope_of(parents: dict, node: ast.AST, module: ast.AST) -> ast.AST:
+    current = parents.get(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return current
+        current = parents.get(current)
+    return module
+
+
+def _is_root(node: ast.expr) -> bool:
+    """``X.extras["tiered_store"]`` / ``X.extras.get("tiered_store")``
+    / ``X.tier_report()`` — where report expressions start."""
+    if isinstance(node, ast.Subscript):
+        return (isinstance(node.value, ast.Attribute)
+                and node.value.attr == "extras"
+                and isinstance(node.slice, ast.Constant)
+                and node.slice.value == EXTRAS_KEY)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "tier_report":
+            return True
+        return (isinstance(func, ast.Attribute) and func.attr == "get"
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr == "extras"
+                and bool(node.args)
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value == EXTRAS_KEY)
+    return False
+
+
+def _reportish(node: ast.expr, tracked: set[str]) -> bool:
+    """Does this expression denote (part of) a tiered_store report?"""
+    if _is_root(node):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in tracked
+    if isinstance(node, ast.Subscript):
+        return _reportish(node.value, tracked)
+    if (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _CHAIN_METHODS):
+        return _reportish(node.func.value, tracked)
+    if isinstance(node, ast.BoolOp):
+        return any(_reportish(value, tracked) for value in node.values)
+    if isinstance(node, ast.IfExp):
+        return (_reportish(node.body, tracked)
+                or _reportish(node.orelse, tracked))
+    return False

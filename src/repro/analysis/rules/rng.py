@@ -1,0 +1,104 @@
+"""REP002 — randomness must flow from an explicitly seeded generator."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Project, Violation, dotted_name
+from .base import Rule
+
+#: Constructors that *produce* a seedable generator — allowed.
+ALLOWED_RANDOM = frozenset({"Random", "SystemRandom"})
+ALLOWED_NUMPY = frozenset({"default_rng", "Generator", "SeedSequence",
+                           "PCG64", "Philox", "MT19937"})
+
+
+class RngRule(Rule):
+    code = "REP002"
+    name = "unseeded-rng"
+    summary = ("no module-level random.*/numpy.random calls; RNG flows "
+               "from a seeded Random/Generator")
+    explanation = """\
+Scheduler tie-breaks, the fuzz harness, and workload generators are
+reproducible because every random draw comes from a generator that was
+constructed with an explicit seed and passed down (`random.Random(seed)`
+or `numpy.random.default_rng(seed)`).  Calling the module-level
+conveniences (`random.random()`, `random.shuffle(...)`,
+`np.random.rand(...)`) draws from the global, process-wide state: runs
+stop being a function of their seed, and the workers=1 == serial
+bit-equality breaks whenever thread interleaving touches the global
+generator.
+
+Fix: accept a `rng` parameter (seeded `random.Random` or numpy
+`Generator`) and call methods on it; construct one with
+`random.Random(seed)` / `np.random.default_rng(seed)` at the entry
+point that owns the seed.
+"""
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        for file in project.files:
+            if file.tree is None:
+                continue
+            random_aliases, numpy_aliases, direct = _rng_bindings(file.tree)
+            for node in ast.walk(file.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if isinstance(func, ast.Name):
+                    if func.id in direct:
+                        yield self.violation(
+                            file, node.lineno,
+                            f"`{func.id}()` draws from the global RNG; "
+                            f"pass a seeded Random/Generator instead")
+                    continue
+                if not isinstance(func, ast.Attribute):
+                    continue
+                receiver = dotted_name(func.value)
+                if receiver is None:
+                    continue
+                if receiver in random_aliases:
+                    if func.attr not in ALLOWED_RANDOM:
+                        yield self.violation(
+                            file, node.lineno,
+                            f"`{receiver}.{func.attr}()` uses the global "
+                            f"random state; draw from a seeded "
+                            f"`random.Random(seed)` passed in")
+                elif (receiver in numpy_aliases
+                      or any(receiver == f"{alias}.random"
+                             for alias in ("numpy", "np"))):
+                    if func.attr not in ALLOWED_NUMPY:
+                        yield self.violation(
+                            file, node.lineno,
+                            f"`{receiver}.{func.attr}()` uses numpy's "
+                            f"global RNG; draw from a seeded "
+                            f"`default_rng(seed)` passed in")
+
+
+def _rng_bindings(tree: ast.Module) -> tuple[set[str], set[str], set[str]]:
+    """(aliases of ``random``, aliases of ``numpy.random``, directly
+    imported global-state function names)."""
+    random_aliases: set[str] = set()
+    numpy_aliases: set[str] = set()
+    direct: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == "random":
+                    random_aliases.add(item.asname or "random")
+                elif item.name == "numpy.random":
+                    numpy_aliases.add(item.asname or "numpy.random")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                for item in node.names:
+                    if item.name not in ALLOWED_RANDOM:
+                        direct.add(item.asname or item.name)
+            elif node.module == "numpy.random":
+                for item in node.names:
+                    if item.name not in ALLOWED_NUMPY:
+                        direct.add(item.asname or item.name)
+            elif node.module == "numpy":
+                for item in node.names:
+                    if item.name == "random":
+                        numpy_aliases.add(item.asname or "random")
+    return random_aliases, numpy_aliases, direct

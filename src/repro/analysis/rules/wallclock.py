@@ -1,0 +1,83 @@
+"""REP001 — no wall-clock reads in logical-time code paths."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..config import path_matches
+from ..engine import Project, Violation, dotted_name
+from .base import Rule
+
+#: Attributes of the ``time`` module that read a real clock.
+WALL_CLOCK_ATTRS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "clock_gettime", "clock_gettime_ns",
+    "process_time", "process_time_ns",
+})
+
+
+class WallClockRule(Rule):
+    code = "REP001"
+    name = "wall-clock-in-logical-path"
+    summary = ("time.time/perf_counter/monotonic forbidden outside the "
+               "real-I/O allowlist")
+    explanation = """\
+The simulator, scheduler, planner, and feedback loop all run on a
+*logical* clock: device seconds derived from the cost model, advanced
+deterministically.  The golden traces (PRs 4/5) and the workers=1 ==
+serial guarantee depend on no real clock leaking into those paths — a
+single `time.perf_counter()` in a simulated path makes traces differ
+run to run and across machines.
+
+Wall clocks are legitimate only where real I/O is being measured:
+`exec/minidb.py` (real on-disk engine), `bench/orchestrator.py`
+(trial wall budgets), and `benchmarks/` (harness timing).  That
+allowlist lives in `[tool.repro-lint] wallclock_allow`.
+
+Fix: thread the logical clock (the `now` the execution context already
+carries) instead of reading `time.*`; if the site genuinely measures
+real hardware, move it into an allowlisted module or add
+`# repro-lint: disable=REP001 -- <why this clock is real>`.
+"""
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        allow = project.config.wallclock_allow
+        for file in project.files:
+            if file.tree is None or path_matches(file.rel, allow):
+                continue
+            aliases, direct = _time_bindings(file.tree)
+            for node in ast.walk(file.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                name = None
+                if isinstance(func, ast.Attribute):
+                    receiver = dotted_name(func.value)
+                    if receiver in aliases and func.attr in WALL_CLOCK_ATTRS:
+                        name = f"{receiver}.{func.attr}"
+                elif isinstance(func, ast.Name) and func.id in direct:
+                    name = func.id
+                if name is not None:
+                    yield self.violation(
+                        file, node.lineno,
+                        f"wall-clock read `{name}()` in a logical-time "
+                        f"path; thread the simulated clock instead, or "
+                        f"allowlist/suppress if this measures real I/O")
+
+
+def _time_bindings(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """(aliases of the ``time`` module, directly-imported wall-clock
+    function names) visible anywhere in the module."""
+    aliases: set[str] = set()
+    direct: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == "time":
+                    aliases.add(item.asname or "time")
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for item in node.names:
+                if item.name in WALL_CLOCK_ATTRS:
+                    direct.add(item.asname or item.name)
+    return aliases, direct

@@ -11,6 +11,8 @@ run) annotates that DAG with observed sizes and timings — the execution
 metadata S/C's optimizer consumes (paper §III-A).
 """
 
+# repro-lint: file-disable=REP001 -- MiniDB times real numpy/zlib phase work; nothing here runs on the simulated clock
+
 from __future__ import annotations
 
 import time

@@ -328,7 +328,7 @@ class MemoryLedger:
         if size < 0:
             raise CatalogError(f"table {node_id!r} has negative size")
 
-    def _commit_entry(self, node_id: str, size: float, n_consumers: int,
+    def _commit_entry(self, node_id: str, size: float, n_consumers: int,  # lint: locked
                       materialization_pending: bool) -> None:
         self._entries[node_id] = _Entry(
             size=size,
@@ -337,7 +337,7 @@ class MemoryLedger:
         self._usage += size
         self._peak = max(self._peak, self._usage)
 
-    def _maybe_release(self, node_id: str) -> bool:
+    def _maybe_release(self, node_id: str) -> bool:  # lint: locked
         entry = self._entries[node_id]
         if entry.releasable:
             self._usage -= entry.size

@@ -119,17 +119,17 @@ class EventBus:
         self._lock = threading.Lock()
         self.events: list[Event] = []
         self.metrics = MetricsRegistry()
-        self._epoch = time.perf_counter()
+        self._epoch = time.perf_counter()  # repro-lint: disable=REP001 -- the bus epoch is real wall time for Chrome-trace timestamps
 
     # ------------------------------------------------------------------
     def wall(self) -> float:
         """Wall-clock seconds since the bus epoch."""
-        return time.perf_counter() - self._epoch
+        return time.perf_counter() - self._epoch  # repro-lint: disable=REP001 -- the bus epoch is real wall time for Chrome-trace timestamps
 
     def rebase(self) -> None:
         """Reset the wall-clock epoch (backends call this at run start
         so wall timestamps read as run-relative)."""
-        self._epoch = time.perf_counter()
+        self._epoch = time.perf_counter()  # repro-lint: disable=REP001 -- the bus epoch is real wall time for Chrome-trace timestamps
 
     def clear(self) -> None:
         """Drop all events and metrics (between ``--replan`` passes)."""

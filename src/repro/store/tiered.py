@@ -470,11 +470,14 @@ class TieredLedger(MemoryLedger):
         logical time."""
         return now if self.charge_io else self.bus.wall()
 
-    def _emit_occupancy(self, t: float, *indices: int) -> None:
+    def _emit_occupancy(self, t: float, *indices: int) -> None:  # lint: locked
         """Sample the named tiers' stored-GB levels: a gauge per tier in
         the metrics registry plus a Chrome counter event per tier lane.
         Callers pass the tiers a migration touched (caller holds the
-        lock and has already checked ``bus.enabled``)."""
+        lock); the bus guard lives here so call sites stay REP004-safe
+        even if a future caller forgets to check ``bus.enabled``."""
+        if not self.bus.enabled:
+            return
         for index in set(indices):
             tier = self.tiers[index]
             usage = tier.ledger.usage
@@ -569,7 +572,7 @@ class TieredLedger(MemoryLedger):
             raise CatalogError(f"table {node_id!r} not in any tier")
         return idx, self.tiers[idx]
 
-    def _forget(self, node_id: str) -> None:
+    def _forget(self, node_id: str) -> None:  # lint: locked
         self._lower_location.pop(node_id, None)
         self._logical.pop(node_id, None)
         self._entry_codec.pop(node_id, None)
@@ -658,7 +661,7 @@ class TieredLedger(MemoryLedger):
         codec = self._entry_codec.get(node_id, NONE_CODEC)
         return codec.decode_seconds_per_gb * logical
 
-    def _record_spill_in(self, index: int, node_id: str, logical: float,
+    def _record_spill_in(self, index: int, node_id: str, logical: float,  # lint: locked
                          stored: float, seconds: float) -> None:
         """Book one entry's arrival in tier ``index``: its encoding
         codec, the tier's spill-in telemetry, and (when armed) the
@@ -678,7 +681,7 @@ class TieredLedger(MemoryLedger):
     # ------------------------------------------------------------------
     # mid-run codec adaptation (SpillConfig.adapt)
     # ------------------------------------------------------------------
-    def _record_spill_sample(self, index: int, logical: float,
+    def _record_spill_sample(self, index: int, logical: float,  # lint: locked
                              stored: float) -> None:
         """Accumulate one realized (logical, stored) spill measurement
         toward the tier's adaptation decision (:meth:`_maybe_adapt`).
@@ -700,7 +703,7 @@ class TieredLedger(MemoryLedger):
         if self._adapt_samples[index] >= self.config.adapt.samples:
             self._maybe_adapt(index)
 
-    def _maybe_adapt(self, index: int) -> None:
+    def _maybe_adapt(self, index: int) -> None:  # lint: locked
         """Decide once, per tier, after K measured spills.
 
         When the observed ratio diverges from the codec preset past the
@@ -763,13 +766,13 @@ class TieredLedger(MemoryLedger):
     # ------------------------------------------------------------------
     # recency (for the LRU policy; logical, not wall-clock)
     # ------------------------------------------------------------------
-    def _commit_entry(self, node_id: str, size: float, n_consumers: int,
+    def _commit_entry(self, node_id: str, size: float, n_consumers: int,  # lint: locked
                       materialization_pending: bool) -> None:
         super()._commit_entry(node_id, size, n_consumers,
                               materialization_pending)
         self._touch(node_id)
 
-    def _touch(self, node_id: str) -> None:
+    def _touch(self, node_id: str) -> None:  # lint: locked
         self._tick += 1
         self._recency[node_id] = self._tick
 
@@ -814,7 +817,7 @@ class TieredLedger(MemoryLedger):
                              + dst_codec.decode_seconds_per_gb * logical)))
         return self.policy.order(infos)
 
-    def _make_room(self, index: int, size: float,
+    def _make_room(self, index: int, size: float,  # lint: locked
                    now: float) -> tuple[bool, list[SpillCharge]]:
         """Demote tier ``index`` victims until ``size`` fits there.
 
@@ -881,7 +884,7 @@ class TieredLedger(MemoryLedger):
             dst_idx += 1
         return dst_idx
 
-    def _demote_locked(self, node_id: str, now: float,
+    def _demote_locked(self, node_id: str, now: float,  # lint: locked
                        stored_override: float | None = None,
                        ) -> list[SpillCharge] | None:
         """Move one entry down the hierarchy, cascading; None when
@@ -1057,7 +1060,7 @@ class TieredLedger(MemoryLedger):
             error.charges = charges
             raise error
 
-    def _promote_locked(self, node_id: str,
+    def _promote_locked(self, node_id: str,  # lint: locked
                         now: float) -> SpillCharge | None:
         """Move a spilled entry into RAM (no counters); None = no move.
 

@@ -34,6 +34,11 @@ import pytest
 from repro.core.optimizer import optimize
 from repro.core.problem import ScProblem
 from repro.engine.controller import Controller
+from repro.exec.lockorder import (
+    LockOrderError,
+    LockOrderRegistry,
+    TrackedRLock,
+)
 from repro.engine.simulator import SimulatorOptions
 from repro.engine.trace import RunTrace
 from repro.store.config import (
@@ -70,6 +75,15 @@ class CheckedLedger(TieredLedger):
         self.observed_demotions = 0
         self.observed_promotions = 0
         self.checks_run = 0
+        # lock-order audit (the dynamic cross-check for REP003): every
+        # nested acquire across the RAM lock and the per-tier ledger
+        # locks records an edge; _check asserts the graph stays acyclic
+        self.lock_order = LockOrderRegistry()
+        self._lock = TrackedRLock("ram", self.lock_order, self._lock)
+        for index, tier in enumerate(self.tiers[1:], start=1):
+            tier.ledger._lock = TrackedRLock(
+                f"tier{index}:{tier.name}", self.lock_order,
+                tier.ledger._lock)
 
     # -- independent episode tallies ----------------------------------
     def _demote_locked(self, node_id, now, stored_override=None):
@@ -153,6 +167,9 @@ class CheckedLedger(TieredLedger):
                     self._expect(getattr(telemetry, field) >= 0,
                                  f"tier {index} telemetry {field} "
                                  f"went negative")
+            # lock ordering: no pair of ledger locks ever nested in
+            # opposite directions across the run so far
+            self.lock_order.assert_acyclic()
 
     @staticmethod
     def _expect(condition: bool, message: str) -> None:
@@ -308,3 +325,50 @@ def test_checked_ledger_actually_checks(seed, monkeypatch):
     ledger._usage += 17.0
     with pytest.raises(LedgerInvariantError):
         ledger._check()
+
+
+# -- lock-order assertion (fast, runs in tier-1, no marker) -----------
+
+def test_lock_order_consistent_nesting_passes():
+    registry = LockOrderRegistry()
+    a = TrackedRLock("a", registry)
+    b = TrackedRLock("b", registry)
+    for _ in range(3):
+        with a:
+            with a:  # re-entrant: no self-edge
+                with b:
+                    pass
+    assert registry.edges() == {("a", "b"): 3}
+    registry.assert_acyclic()
+
+
+def test_lock_order_inversion_detected():
+    registry = LockOrderRegistry()
+    a = TrackedRLock("a", registry)
+    b = TrackedRLock("b", registry)
+    with a:
+        with b:
+            pass
+    registry.assert_acyclic()  # one direction only: still fine
+    with b:
+        with a:  # the ABBA inversion (no deadlock: same thread)
+            pass
+    with pytest.raises(LockOrderError) as excinfo:
+        registry.assert_acyclic()
+    assert "a" in str(excinfo.value) and "b" in str(excinfo.value)
+
+
+def test_checked_ledger_audits_lock_order():
+    """A real demotion nests the RAM lock over the tier ledger's lock;
+    the CheckedLedger must record that edge and stay acyclic."""
+    from repro.store.config import SpillConfig, TierSpec
+
+    ledger = CheckedLedger(
+        budget=2.0,
+        config=SpillConfig(tiers=(TierSpec("ssd", 10.0),)),
+        charge_io=False)
+    ledger.insert("a", 1.5, n_consumers=1)
+    ledger.demote("a", now=0.0)
+    edges = ledger.lock_order.edges()
+    assert any(src == "ram" for (src, dst) in edges), edges
+    ledger.lock_order.assert_acyclic()
