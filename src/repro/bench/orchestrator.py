@@ -132,7 +132,8 @@ def _store_counters(trace) -> tuple[int, int]:
     return (report.get("spill_count", 0), report.get("promote_count", 0))
 
 
-def _run_graph_trial(spec: TrialSpec, config: MatrixConfig) -> dict:
+def _run_graph_trial(spec: TrialSpec, config: MatrixConfig,
+                     cancel: threading.Event | None = None) -> dict:
     from repro.engine.controller import Controller
     from repro.engine.simulator import SimulatorOptions
     from repro.store.config import RAM_COMPRESSED, SpillConfig, TierSpec
@@ -144,8 +145,8 @@ def _run_graph_trial(spec: TrialSpec, config: MatrixConfig) -> dict:
     ram = spec.ram_fraction * peak
     graph = build_workload(spec.workload, scale_gb=config.scale_gb)
     if spec.backend == "lru":
-        trace = Controller().refresh(graph, ram, method="lru",
-                                     seed=spec.seed)
+        trace = Controller(cancel=cancel).refresh(graph, ram, method="lru",
+                                                  seed=spec.seed)
         return _metrics(spec, trace)
     tiers = [TierSpec("ssd", config.ssd_fraction * peak),
              TierSpec("disk")]
@@ -154,7 +155,8 @@ def _run_graph_trial(spec: TrialSpec, config: MatrixConfig) -> dict:
                                  config.rung_fraction * peak))
     spill = SpillConfig(tiers=tuple(tiers), policy=config.policy,
                         codec=spec.codec)
-    controller = Controller(options=SimulatorOptions(spill=spill))
+    controller = Controller(options=SimulatorOptions(spill=spill),
+                            cancel=cancel)
     plan = controller.plan(graph, ram, method=spec.method,
                            seed=spec.seed, tier_aware=True)
     trace = controller.refresh(graph, ram, method=spec.method,
@@ -174,7 +176,8 @@ def _run_graph_trial(spec: TrialSpec, config: MatrixConfig) -> dict:
     return _metrics(spec, trace, first_pass_s=first_pass_s)
 
 
-def _run_minidb_trial(spec: TrialSpec, config: MatrixConfig) -> dict:
+def _run_minidb_trial(spec: TrialSpec, config: MatrixConfig,
+                      cancel: threading.Event | None = None) -> dict:
     import tempfile
 
     from repro.db.engine import demo_workload
@@ -189,7 +192,8 @@ def _run_minidb_trial(spec: TrialSpec, config: MatrixConfig) -> dict:
         rung_gb = config.rung_fraction * ram if spec.rung else 0.0
         controller = Controller(
             spill_dir=f"{scratch}/spill", ram_compressed_gb=rung_gb,
-            spill=SpillConfig(policy=config.policy, codec=spec.codec))
+            spill=SpillConfig(policy=config.policy, codec=spec.codec),
+            cancel=cancel)
         plan = controller.plan_for_minidb(profiled, ram,
                                           method=spec.method,
                                           seed=spec.seed, tier_aware=True)
@@ -213,29 +217,45 @@ def _metrics(spec: TrialSpec, trace, first_pass_s=None) -> dict:
     return {"metrics": metrics, "trace": trace.to_dict()}
 
 
-def _trial_body(spec: TrialSpec, config: MatrixConfig) -> dict:
+def _trial_body(spec: TrialSpec, config: MatrixConfig,
+                cancel: threading.Event | None = None) -> dict:
     """Execute one cell and return its result payload (metrics +
-    serialized trace).  Module-level so tests can monkeypatch it."""
+    serialized trace).  Module-level so tests can monkeypatch it.
+    ``cancel`` is threaded into every Controller the cell builds, so a
+    timed-out trial stops at its next node boundary instead of running
+    (and emitting) to completion in an abandoned thread."""
     if spec.backend == "minidb":
-        return _run_minidb_trial(spec, config)
-    return _run_graph_trial(spec, config)
+        return _run_minidb_trial(spec, config, cancel=cancel)
+    return _run_graph_trial(spec, config, cancel=cancel)
+
+
+#: Seconds a timed-out trial gets to observe its cancel event and
+#: unwind before the thread is abandoned — the grace only needs to
+#: cover one node's execution, not the whole trial.
+_CANCEL_GRACE_S = 5.0
 
 
 def _run_with_timeout(fn, timeout: float | None):
-    """Run ``fn`` bounded by ``timeout`` seconds.
+    """Run ``fn(cancel)`` bounded by ``timeout`` seconds.
 
-    The body runs in a daemon thread; on timeout the thread is
-    abandoned (a stuck simulated trial holds no external resources)
-    and :class:`TrialTimeout` is raised so the cell records as
-    ``timeout`` instead of wedging the whole matrix.
+    The body runs in a daemon thread.  On timeout the cooperative
+    ``cancel`` event is set, so the body stops emitting (metric/bus
+    writes, trial records) and frees its executor slot at the next node
+    boundary — the backends raise
+    :class:`~repro.errors.RunCancelledError` between nodes.  After a
+    short grace the thread is abandoned regardless (a body stuck
+    *inside* one node holds no external resources), and
+    :class:`TrialTimeout` is raised so the cell records as ``timeout``
+    instead of wedging the whole matrix.
     """
+    cancel = threading.Event()
     if timeout is None:
-        return fn()
+        return fn(cancel)
     box: dict = {}
 
     def target() -> None:
         try:
-            box["value"] = fn()
+            box["value"] = fn(cancel)
         except BaseException as exc:  # crash isolation: captured, not raised
             box["error"] = exc
 
@@ -244,6 +264,8 @@ def _run_with_timeout(fn, timeout: float | None):
     thread.start()
     thread.join(timeout)
     if thread.is_alive():
+        cancel.set()
+        thread.join(_CANCEL_GRACE_S)
         raise TrialTimeout(f"trial exceeded {timeout:g}s")
     if "error" in box:
         raise box["error"]
@@ -263,7 +285,8 @@ def _execute_trial(spec: TrialSpec, config: MatrixConfig,
                 raise RuntimeError(
                     f"injected failure (--inject-fail {pattern!r})")
         result = _run_with_timeout(
-            lambda: _trial_body(spec, config), config.trial_timeout_s)
+            lambda cancel: _trial_body(spec, config, cancel=cancel),
+            config.trial_timeout_s)
         record.update(status="ok", **result)
     except TrialTimeout as exc:
         record.update(status="timeout", error=str(exc))

@@ -346,6 +346,36 @@ def _build_parser() -> argparse.ArgumentParser:
     p_pipe.add_argument("--simulate", action="store_true",
                         help="also simulate the optimized schedule")
 
+    p_srv = sub.add_parser(
+        "serve",
+        help="open-loop multi-tenant serving demo over one shared "
+             "ledger: Poisson request arrivals, per-tenant p50/p99, "
+             "shared-ledger invariant audit (non-zero exit on any "
+             "violation — this is the CI smoke gate)")
+    p_srv.add_argument("--workload", default="io1",
+                       choices=sorted(WORKLOAD_NAMES))
+    p_srv.add_argument("--scale-gb", type=float, default=20.0,
+                       help="workload scale in GB (default 20)")
+    p_srv.add_argument("--ram-fraction", type=float, default=0.25,
+                       help="RAM budget as a fraction of the workload's "
+                            "total size (default 0.25)")
+    p_srv.add_argument("--tenants", type=int, default=2,
+                       help="tenant count; RAM shares split evenly, "
+                            "priorities descend (default 2)")
+    p_srv.add_argument("--requests", type=int, default=12,
+                       help="total requests across all tenants")
+    p_srv.add_argument("--arrival-rate", type=float, default=4.0,
+                       help="Poisson arrival rate, requests per wall "
+                            "second (default 4)")
+    p_srv.add_argument("--max-concurrent", type=int, default=8)
+    p_srv.add_argument("--time-scale", type=float, default=1e-4,
+                       help="wall seconds per modeled second")
+    p_srv.add_argument("--deadline", type=float, default=None,
+                       help="per-request wall deadline in seconds")
+    p_srv.add_argument("--seed", type=int, default=0)
+    p_srv.add_argument("--method", default="sc",
+                       choices=sorted(OPTIMIZER_METHODS))
+
     return parser
 
 
@@ -793,6 +823,64 @@ def _cmd_pipeline(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Open-loop serving demo + the CI smoke gate (exit 1 on any
+    shared-ledger invariant violation)."""
+    import asyncio
+    import random
+
+    from repro.serve.service import TenantSpec, percentile
+    from repro.store.config import TierSpec
+
+    graph = build_workload(args.workload, scale_gb=args.scale_gb)
+    memory = args.ram_fraction * graph.total_size()
+    controller = Controller(spill=SpillConfig(tiers=(TierSpec("disk"),)))
+    plan = controller.plan(graph, memory, method=args.method,
+                           seed=args.seed)
+    names = [f"tenant-{i}" for i in range(args.tenants)]
+    tenants = [TenantSpec(name, share=1.0 / args.tenants,
+                          priority=args.tenants - i)
+               for i, name in enumerate(names)]
+    service = controller.create_service(
+        memory, tenants, queue_limit=max(args.requests, 1),
+        max_concurrent=args.max_concurrent, time_scale=args.time_scale,
+        deadline_s=args.deadline)
+    rng = random.Random(args.seed)
+
+    async def _open_loop():
+        async with service as svc:
+            handles = []
+            for i in range(args.requests):
+                await asyncio.sleep(
+                    rng.expovariate(args.arrival_rate))
+                handles.append(await svc.submit(
+                    graph, plan, tenant=names[i % len(names)]))
+            return [await handle for handle in handles]
+
+    results = asyncio.run(_open_loop())
+    print(f"workload {args.workload} @ {args.scale_gb:g} GB, "
+          f"RAM {memory:.2f} GB ({args.ram_fraction:g} of total), "
+          f"{args.tenants} tenants, {len(results)} requests")
+    print(f"{'tenant':<12} {'ok':>3} {'other':>5} "
+          f"{'p50 (s)':>9} {'p99 (s)':>9}")
+    for name in names:
+        latencies = [r.latency_s for r in results
+                     if r.tenant == name and r.status == "ok"]
+        other = sum(1 for r in results
+                    if r.tenant == name and r.status != "ok")
+        p50 = f"{percentile(latencies, 50):9.3f}" if latencies else "        -"
+        p99 = f"{percentile(latencies, 99):9.3f}" if latencies else "        -"
+        print(f"{name:<12} {len(latencies):>3} {other:>5} {p50} {p99}")
+    violations = service.audit()
+    bad = {key: value for key, value in violations.items() if value}
+    if bad:
+        print(f"INVARIANT VIOLATIONS: {bad}", file=sys.stderr)
+        return 1
+    print("shared-ledger audit: clean (no leaked holds, no negative "
+          "balances, tenant usage sums to ledger usage)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -804,6 +892,7 @@ def main(argv: list[str] | None = None) -> int:
         "obs": _cmd_obs,
         "explain": _cmd_explain,
         "pipeline": _cmd_pipeline,
+        "serve": _cmd_serve,
     }
     handler = handlers[args.command]
     profile_path = getattr(args, "profile", None)

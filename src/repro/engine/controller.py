@@ -24,6 +24,7 @@ release protocol are identical no matter how a plan executes.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, replace
 
 from repro.core.optimizer import optimize
@@ -59,6 +60,12 @@ class Controller:
         bus: optional observability :class:`~repro.obs.events.EventBus`
             threaded into every backend this controller creates; ``None``
             (default) keeps tracing off with zero overhead.
+        cancel: optional ``threading.Event`` threaded into every backend
+            this controller creates; setting it stops the run at the
+            next node boundary with
+            :class:`~repro.errors.RunCancelledError` (the bench
+            orchestrator's trial timeout and the serve layer's
+            per-request cancellation both drive this).
     """
 
     profile: DeviceProfile = field(default_factory=DeviceProfile)
@@ -69,6 +76,7 @@ class Controller:
     spill_dir: str | None = None
     ram_compressed_gb: float = 0.0
     bus: EventBus | None = None
+    cancel: threading.Event | None = None
 
     def _effective_options(self) -> SimulatorOptions:
         if self.spill is None:
@@ -226,7 +234,7 @@ class Controller:
         executor = create_backend(
             name, profile=self.profile, options=options,
             workers=self.workers if workers is None else workers, seed=seed,
-            bus=self.bus)
+            bus=self.bus, cancel=self.cancel)
         if not executor.requires_plan:
             if method != name:
                 # a plan-free baseline cannot honor an optimizing method,
@@ -240,6 +248,79 @@ class Controller:
             plan = self.plan(graph, memory_budget, method=method, seed=seed,
                              tier_aware=tier_aware, feedback=feedback)
         return executor.run(graph, plan, memory_budget, method=method)
+
+    # ------------------------------------------------------------------
+    # serving (repro.serve): many concurrent refreshes, one ledger
+    # ------------------------------------------------------------------
+    def create_service(self, memory_budget: float, tenants,
+                       queue_limit: int = 64, max_concurrent: int = 8,
+                       time_scale: float = 1e-3,
+                       deadline_s: float | None = None):
+        """Build a :class:`~repro.serve.service.RefreshService` sharing
+        this controller's spill tiers, device profile, and event bus.
+
+        Args:
+            memory_budget: the shared ledger's RAM budget in GB;
+                ``tenants`` (a list of
+                :class:`~repro.serve.service.TenantSpec`) partition it
+                by their shares.
+            queue_limit / max_concurrent / time_scale / deadline_s:
+                see :class:`~repro.serve.service.ServiceConfig`.
+
+        Returns:
+            An *unstarted* service — use it as an async context manager.
+        """
+        from repro.serve.service import RefreshService, ServiceConfig
+
+        spill = self._effective_options().spill
+        config = ServiceConfig(
+            ram_budget_gb=memory_budget,
+            spill=spill if spill is not None else SpillConfig(),
+            queue_limit=queue_limit, max_concurrent=max_concurrent,
+            time_scale=time_scale, deadline_s=deadline_s)
+        return RefreshService(config, tenants, profile=self.profile,
+                              bus=self.bus)
+
+    def refresh_concurrent(self, requests, memory_budget: float,
+                           tenants, max_concurrent: int = 8,
+                           time_scale: float = 1e-3,
+                           deadline_s: float | None = None):
+        """Run many refresh requests concurrently over one shared ledger.
+
+        The synchronous convenience wrapper over
+        :meth:`create_service` — submits every request up front and
+        drains the service (long-running callers should drive the async
+        API directly).
+
+        Args:
+            requests: iterable of ``(graph, plan, tenant)`` triples;
+                ``plan`` may be ``None`` for a topological-order run
+                with nothing flagged.
+            memory_budget: shared RAM budget the tenant shares partition.
+            tenants: list of :class:`~repro.serve.service.TenantSpec`.
+
+        Returns:
+            ``(results, service)`` — the terminal
+            :class:`~repro.serve.service.RequestResult` per request (in
+            submission order) and the drained service (for
+            ``audit()`` / ``latencies_by_tenant()``).
+        """
+        import asyncio
+
+        requests = list(requests)
+        service = self.create_service(
+            memory_budget, tenants,
+            queue_limit=max(len(requests), 1),
+            max_concurrent=max_concurrent, time_scale=time_scale,
+            deadline_s=deadline_s)
+
+        async def _run_all():
+            async with service as svc:
+                handles = [await svc.submit(graph, plan, tenant=tenant)
+                           for graph, plan, tenant in requests]
+                return [await handle for handle in handles]
+
+        return asyncio.run(_run_all()), service
 
     # ------------------------------------------------------------------
     def minidb_tier_budget(self, memory_budget: float) -> TierAwareBudget:
@@ -346,5 +427,6 @@ class Controller:
             extra["ram_compressed_gb"] = rung_gb
         executor = create_backend(  # lazy import: optional numpy dep
             "minidb", profile=self.profile, options=self.options,
-            seed=seed, bus=self.bus, workload=workload, **extra)
+            seed=seed, bus=self.bus, cancel=self.cancel,
+            workload=workload, **extra)
         return executor.run(graph, plan, memory_budget, method=method)

@@ -69,6 +69,33 @@ class ExecutionError(ReproError):
     """A refresh run failed while executing on an engine backend."""
 
 
+class RunCancelledError(ExecutionError):
+    """A refresh run was cancelled cooperatively between nodes.
+
+    Raised when a run's cancel event (a ``threading.Event`` shared with
+    the caller — the bench orchestrator's trial timeout or the serve
+    layer's per-request cancellation/deadline) is set.  The backend
+    unwinds its ledger state before raising, so a cancelled run leaks no
+    holds, reservations, or consumer counts.
+
+    Attributes:
+        node_id: the node about to execute when the cancel was observed,
+            when known.
+    """
+
+    def __init__(self, message: str, node_id: str | None = None):
+        super().__init__(message)
+        self.node_id = node_id
+
+
+class ServiceOverloadError(ExecutionError):
+    """The refresh service's bounded request queue is full.
+
+    Open-loop clients treat this as backpressure: the request was
+    rejected at submission, before taking any ledger or queue state.
+    """
+
+
 class CatalogError(ExecutionError):
     """Memory/physical catalog misuse (unknown table, double free, ...)."""
 

@@ -72,7 +72,7 @@ class ExecutionBackend(abc.ABC):
     requires_plan: ClassVar[bool] = True
 
     def __init__(self, profile=None, options=None, workers: int = 1,
-                 seed: int = 0, bus=None, **kwargs) -> None:
+                 seed: int = 0, bus=None, cancel=None, **kwargs) -> None:
         from repro.obs.events import resolve_bus
 
         if workers < 1:
@@ -84,7 +84,26 @@ class ExecutionBackend(abc.ABC):
         # observability event bus (repro.obs); NULL_BUS unless the run
         # was launched with tracing on, so instrumentation is free
         self.bus = resolve_bus(bus)
+        # cooperative cancellation: a threading.Event the caller (bench
+        # orchestrator trial timeout, serve-layer request cancellation)
+        # sets to stop the run at the next node boundary; backends raise
+        # RunCancelledError after unwinding their ledger state
+        self.cancel = cancel
         self.extra = kwargs
+
+    # ------------------------------------------------------------------
+    def check_cancelled(self, node_id: str | None = None) -> None:
+        """Raise :class:`~repro.errors.RunCancelledError` when the run's
+        cancel event is set.  Backends call this between nodes (and the
+        parallel scheduler between dispatch rounds), so cancellation is
+        cooperative: no node is interrupted mid-execution and the ledger
+        is always at a node boundary when the run unwinds."""
+        if self.cancel is not None and self.cancel.is_set():
+            from repro.errors import RunCancelledError
+            raise RunCancelledError(
+                "refresh run cancelled"
+                + (f" before node {node_id!r}" if node_id else ""),
+                node_id=node_id)
 
     # ------------------------------------------------------------------
     @abc.abstractmethod
@@ -121,6 +140,7 @@ class ExecutionBackend(abc.ABC):
         order = (list(ctx.plan.order) if ctx.plan is not None
                  else kahn_topological_order(graph))
         for node_id in order:
+            self.check_cancelled(node_id)
             self.execute_node(ctx, node_id)
         return self.finish(ctx)
 
@@ -137,6 +157,7 @@ _BACKEND_MODULES: dict[str, str] = {
     "lru": "repro.exec.lru",
     "parallel": "repro.exec.parallel",
     "minidb": "repro.exec.minidb",
+    "service": "repro.serve.backend",
 }
 
 
@@ -191,8 +212,8 @@ def get_backend(name: str) -> type[ExecutionBackend]:
 
 def create_backend(name: str, *, profile=None, options=None,
                    workers: int = 1, seed: int = 0, bus=None,
-                   **kwargs) -> ExecutionBackend:
+                   cancel=None, **kwargs) -> ExecutionBackend:
     """Instantiate a backend with the shared constructor contract."""
     cls = get_backend(name)
     return cls(profile=profile, options=options, workers=workers,
-               seed=seed, bus=bus, **kwargs)
+               seed=seed, bus=bus, cancel=cancel, **kwargs)

@@ -191,6 +191,7 @@ class ParallelSimulatorBackend(ExecutionBackend):
         state = ctx.payload
         self._dispatch_round(ctx)
         while len(state.completed) < graph.n:
+            self.check_cancelled()
             if not state.events:
                 raise ExecutionError(
                     "parallel scheduler stalled: "
@@ -664,7 +665,7 @@ class ParallelSimulatorBackend(ExecutionBackend):
 def run_threaded(graph: DependencyGraph, plan: Plan, memory_budget: float,
                  workers: int = 2,
                  work: Callable[[Node], None] | None = None,
-                 time_scale: float = 1.0) -> RunTrace:
+                 time_scale: float = 1.0, bus=None) -> RunTrace:
     """Execute ``plan`` with real OS threads under ledger admission.
 
     ``work`` runs once per node on a pool thread (default: sleep for the
@@ -676,8 +677,23 @@ def run_threaded(graph: DependencyGraph, plan: Plan, memory_budget: float,
     be admitted waits for releases, or spills (runs unflagged) when
     nothing is in flight to free space.
 
+    A blocked dispatcher parks on an event-driven predicate wait keyed
+    to the completion count — it wakes exactly when a worker finishes
+    (``finish_node`` notifies under the condition variable), never on a
+    timed poll, so there is no sleep-quantized idle tail between a
+    completion and the next dispatch round
+    (``benchmarks/bench_obs_overhead.py`` asserts this on the emitted
+    dispatch-round instants).
+
+    With ``bus`` given, every dispatch round emits a ``scheduler``
+    instant whose timestamp is the dispatcher's wall clock, carrying
+    dispatched/running/ready counts and whether the previous round
+    blocked.
+
     Returns a :class:`RunTrace` of wall-clock (``perf_counter``) timings.
     """
+    from repro.obs.events import resolve_bus
+
     if workers < 1:
         raise ValidationError("workers must be >= 1")
     check_topological_order(graph, plan.order)
@@ -685,6 +701,7 @@ def run_threaded(graph: DependencyGraph, plan: Plan, memory_budget: float,
         def work(node: Node) -> None:
             time.sleep(max(node.compute_time or 0.0, 0.0) * time_scale)
 
+    bus = resolve_bus(bus)
     ledger = MemoryLedger(budget=memory_budget)
     position = plan.positions()
     cv = threading.Condition()
@@ -723,8 +740,10 @@ def run_threaded(graph: DependencyGraph, plan: Plan, memory_budget: float,
     with ThreadPoolExecutor(max_workers=workers,
                             thread_name_prefix="refresh") as pool:
         with cv:
+            blocked = False
             while len(completed) < graph.n:
                 dispatched = False
+                dispatched_count = 0
                 for node_id in sorted(ready, key=position.__getitem__):
                     if len(running) >= workers:
                         break
@@ -746,6 +765,16 @@ def run_threaded(graph: DependencyGraph, plan: Plan, memory_budget: float,
                     running.add(node_id)
                     pool.submit(task, node_id, flagged)
                     dispatched = True
+                    dispatched_count += 1
+                if bus.enabled:
+                    bus.instant(
+                        "dispatch-round", "scheduler", "scheduler",
+                        time.perf_counter() - started,  # repro-lint: disable=REP001 -- run_threaded measures the real thread executor's wall clock by design
+                        args={"dispatched": dispatched_count,
+                              "running": len(running),
+                              "ready": len(ready),
+                              "after_block": blocked})
+                blocked = False
                 if len(completed) >= graph.n:
                     break
                 if not dispatched:
@@ -753,7 +782,14 @@ def run_threaded(graph: DependencyGraph, plan: Plan, memory_budget: float,
                         # nothing in flight can free space: force progress
                         spilled.add(min(ready, key=position.__getitem__))
                         continue
-                    cv.wait(timeout=0.5)
+                    # event-driven: wake exactly on the completion that
+                    # finish_node notifies about — a timed poll here
+                    # added up to its full interval of idle tail per
+                    # round, and hid a missing notify instead of
+                    # hanging on it
+                    completions = len(completed)
+                    blocked = True
+                    cv.wait_for(lambda: len(completed) > completions)
 
     wall = time.perf_counter() - started  # repro-lint: disable=REP001 -- run_threaded measures the real thread executor's wall clock by design
     ordered = sorted(traces.values(), key=lambda t: (t.start, t.node_id))

@@ -46,6 +46,8 @@ EVENT_CATEGORIES: dict[str, str] = {
     "occupancy": "per-tier stored-GB level samples (counter events)",
     "scheduler": "dispatch rounds of the parallel backend",
     "run": "run-level markers: replan boundaries, backend start/finish",
+    "request": "serve-layer request lifecycle: queued / admitted / "
+               "running / done / cancelled",
 }
 
 

@@ -32,6 +32,7 @@ TIER_REPORT_KEYS = frozenset({
     "prefetch",
     "codec_adapt",
     "tiers",
+    "tenants",
 })
 
 #: Per-tier entries in the ``tiers`` list.
@@ -99,7 +100,18 @@ CODEC_ADAPT_RECORD_KEYS = frozenset({
     "at_spill",
 })
 
+#: Per-tenant accounting blocks inside ``tenants`` (``_tenant_report()``;
+#: only present when the serve layer registered tenants — single-tenant
+#: reports omit the key entirely to stay golden-compatible).
+TENANT_KEYS = frozenset({
+    "budget",
+    "usage",
+    "peak",
+    "resident",
+})
+
 #: Every declared key, flattened — what REP005 validates against.
 ALL_TIERED_STORE_KEYS = (
     TIER_REPORT_KEYS | TIER_KEYS | OBSERVED_KEYS | ARBITRATION_KEYS
-    | PREFETCH_KEYS | CODEC_ADAPT_KEYS | CODEC_ADAPT_RECORD_KEYS)
+    | PREFETCH_KEYS | CODEC_ADAPT_KEYS | CODEC_ADAPT_RECORD_KEYS
+    | TENANT_KEYS)

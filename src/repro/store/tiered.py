@@ -124,6 +124,20 @@ class _TierTelemetry:
     wall_promote_gb: float = 0.0
 
 
+@dataclass
+class _TenantAccount:
+    """Per-tenant RAM accounting (the serve layer's budget shares).
+
+    ``budget`` is the tenant's slice of the RAM budget in GB (shares
+    partition tier 0 only — spill tiers are shared); ``usage``/``peak``
+    track the committed RAM bytes of entries the tenant owns.
+    """
+
+    budget: float
+    usage: float = 0.0
+    peak: float = 0.0
+
+
 @dataclass(frozen=True)
 class SpillCharge:
     """Simulated time cost of one entry migration between tiers.
@@ -459,6 +473,12 @@ class TieredLedger(MemoryLedger):
         self.spill_wins = 0
         self.stall_seconds = 0.0
         self.avoided_spill_seconds = 0.0
+        # per-tenant RAM accounting (multi-tenant serving, repro.serve):
+        # tenant budget shares partition tier 0 only; both maps stay
+        # empty for single-tenant runs, keeping their tier_report()
+        # bit-identical to the pre-tenant goldens
+        self._tenant_accounts: dict[str, _TenantAccount] = {}
+        self._owners: dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # observability (every site guarded by bus.enabled — off by default)
@@ -559,7 +579,9 @@ class TieredLedger(MemoryLedger):
         with self._lock:
             idx, tier = self._holding(node_id)
             if idx == 0:
+                size = self._entries[node_id].size
                 super().force_release(node_id)
+                self._tenant_credit(node_id, size)
             else:
                 tier.ledger.force_release(node_id)
             self._forget(node_id)
@@ -578,6 +600,7 @@ class TieredLedger(MemoryLedger):
         self._entry_codec.pop(node_id, None)
         self._recency.pop(node_id, None)
         self._prefetch_missed.discard(node_id)
+        self._owners.pop(node_id, None)
 
     # ------------------------------------------------------------------
     # codec accounting
@@ -771,6 +794,10 @@ class TieredLedger(MemoryLedger):
         super()._commit_entry(node_id, size, n_consumers,
                               materialization_pending)
         self._touch(node_id)
+        # every path committing RAM bytes (insert / try_insert /
+        # commit_reservation / adopt-on-promote) lands here, so this is
+        # the single tenant charge point for tier 0
+        self._tenant_charge(node_id, size)
 
     def _touch(self, node_id: str) -> None:  # lint: locked
         self._tick += 1
@@ -781,6 +808,128 @@ class TieredLedger(MemoryLedger):
         with self._lock:
             if node_id in self:
                 self._touch(node_id)
+
+    # ------------------------------------------------------------------
+    # per-tenant RAM accounting (multi-tenant serving; see repro.serve)
+    # ------------------------------------------------------------------
+    def register_tenant(self, name: str, budget: float) -> None:
+        """Register (or re-budget) a tenant's RAM share.
+
+        ``budget`` is the tenant's slice of the RAM budget in GB —
+        shares partition tier 0 only, spill tiers stay shared.  The
+        serve layer enforces the share at admission time; the ledger
+        itself only accounts, so a single over-share admission (e.g. a
+        node bigger than its tenant's slice) degrades to shared-RAM
+        pressure instead of deadlocking the request.
+        """
+        if not name:
+            raise CatalogError("tenant name must be non-empty")
+        if budget < 0:
+            raise CatalogError(f"tenant {name!r} budget must be >= 0")
+        with self._lock:
+            account = self._tenant_accounts.get(name)
+            if account is None:
+                self._tenant_accounts[name] = _TenantAccount(budget=budget)
+            else:
+                account.budget = budget
+
+    def set_owner(self, node_id: str, tenant: str) -> None:
+        """Attribute ``node_id``'s RAM residency to ``tenant``.
+
+        May be called before the entry exists (the serve layer tags a
+        request's node keys ahead of admission); if the entry is already
+        RAM-resident its bytes move between tenant accounts atomically.
+        The mapping persists across demotions/promotions and clears when
+        the entry fully leaves the hierarchy.
+        """
+        with self._lock:
+            if tenant not in self._tenant_accounts:
+                raise CatalogError(
+                    f"unknown tenant {tenant!r}; register_tenant first")
+            previous = self._owners.get(node_id)
+            if previous == tenant:
+                return
+            resident_size = (self._entries[node_id].size
+                             if node_id in self._entries else None)
+            if resident_size is not None and previous is not None:
+                self._tenant_credit(node_id, resident_size)
+            self._owners[node_id] = tenant
+            if resident_size is not None:
+                self._tenant_charge(node_id, resident_size)
+
+    def owner_of(self, node_id: str) -> str | None:
+        """The tenant owning ``node_id``, or None when untagged."""
+        with self._lock:
+            return self._owners.get(node_id)
+
+    def tenant_names(self) -> list[str]:
+        with self._lock:
+            return list(self._tenant_accounts)
+
+    def tenant_usage(self, name: str) -> float:
+        """Committed RAM bytes of entries ``name`` owns."""
+        with self._lock:
+            return self._tenant_account(name).usage
+
+    def tenant_available(self, name: str) -> float:
+        """Bytes left in the tenant's RAM share (budget − usage)."""
+        with self._lock:
+            account = self._tenant_account(name)
+            return account.budget - account.usage
+
+    def _tenant_account(self, name: str) -> _TenantAccount:  # lint: locked
+        account = self._tenant_accounts.get(name)
+        if account is None:
+            raise CatalogError(f"unknown tenant {name!r}")
+        return account
+
+    def _tenant_charge(self, node_id: str, size: float) -> None:  # lint: locked
+        tenant = self._owners.get(node_id)
+        if tenant is None:
+            return
+        account = self._tenant_accounts[tenant]
+        account.usage += size
+        account.peak = max(account.peak, account.usage)
+
+    def _tenant_credit(self, node_id: str, size: float) -> None:  # lint: locked
+        tenant = self._owners.get(node_id)
+        if tenant is None:
+            return
+        self._tenant_accounts[tenant].usage -= size
+
+    def _tenant_report(self) -> dict:  # lint: locked
+        """Per-tenant accounting block for ``tier_report()["tenants"]``."""
+        resident: dict[str, int] = {}
+        for node_id in self._entries:
+            tenant = self._owners.get(node_id)
+            if tenant is not None:
+                resident[tenant] = resident.get(tenant, 0) + 1
+        return {name: {
+            "budget": account.budget,
+            "usage": account.usage,
+            "peak": account.peak,
+            "resident": resident.get(name, 0),
+        } for name, account in self._tenant_accounts.items()}
+
+    # RAM commit/release hooks keeping tenant balances in lockstep with
+    # tier-0 usage.  Only tier 0 is hooked: lower-tier ledgers are plain
+    # MemoryLedger objects and tenant shares partition RAM only.
+    # Reservations are deliberately not tenant-charged — they convert to
+    # committed bytes (and a tenant charge) at commit_reservation time,
+    # mirroring how usage/peak treat them.  The charge side lives in the
+    # recency-tracking _commit_entry override above.
+    def detach(self, node_id: str) -> tuple[float, int, bool]:
+        with self._lock:
+            size, consumers, pending = super().detach(node_id)
+            self._tenant_credit(node_id, size)
+            return size, consumers, pending
+
+    def _maybe_release(self, node_id: str) -> bool:  # lint: locked
+        size = self._entries[node_id].size
+        released = super()._maybe_release(node_id)
+        if released:
+            self._tenant_credit(node_id, size)
+        return released
 
     # ------------------------------------------------------------------
     # spill / promote
@@ -993,11 +1142,51 @@ class TieredLedger(MemoryLedger):
         the move with :meth:`demote`; a backend running a compressed
         in-RAM rung also asks for rung victims (``tier=1``) so it can
         cascade their blobs to the device below before demoting into a
-        full rung.  Entries named in ``exclude`` are never offered."""
+        full rung.  Entries named in ``exclude`` are never offered.
+
+        The selection is only valid while the caller holds the entry
+        (single-threaded real-I/O executors, which physically move the
+        bytes between the two calls).  Concurrent admitters must use
+        :meth:`demote_victim` instead: a pick_victim → demote pair spans
+        two lock acquisitions, so two racing admitters can select the
+        same victim and the loser's demote raises (or, worse, demotes a
+        second entry nobody chose).
+        """
         with self._lock:
             for victim in self._victims(tier):
                 if victim.node_id not in exclude:
                     return victim.node_id
+            return None
+
+    def demote_victim(self, exclude: frozenset = frozenset(),
+                      now: float = 0.0, owner: str | None = None,
+                      ) -> tuple[str, list[SpillCharge]] | None:
+        """Atomically select the best RAM victim *and* demote it.
+
+        The select-and-demote pair runs under one ledger-lock
+        acquisition, closing the double-demote race that
+        :meth:`pick_victim` + :meth:`demote` leave open to concurrent
+        admitters (two requests picking the same victim).  When
+        ``owner`` is given only entries owned by that tenant are
+        considered — the serve layer uses this to shed a tenant's own
+        bytes when it exceeds its RAM share, without touching other
+        tenants' residency.  Falls down the policy ranking past victims
+        that cannot move (e.g. too big for every lower tier), mirroring
+        :meth:`_make_room`.
+
+        Returns ``(victim_id, charges)`` or ``None`` when no eligible
+        victim can be demoted.
+        """
+        with self._lock:
+            for victim in self._victims(0):
+                if victim.node_id in exclude:
+                    continue
+                if owner is not None and \
+                        self._owners.get(victim.node_id) != owner:
+                    continue
+                charges = self._demote_locked(victim.node_id, now)
+                if charges is not None:
+                    return victim.node_id, charges
             return None
 
     def spill_insert(self, node_id: str, size: float, n_consumers: int,
@@ -1426,6 +1615,10 @@ class TieredLedger(MemoryLedger):
                     "tiers": dict(self.codec_adapt),
                 },
                 "tiers": tiers,
+                # conditional so single-tenant reports stay bit-equal to
+                # the pre-tenant goldens (tests/data/golden_pr5_trace.json)
+                **({"tenants": self._tenant_report()}
+                   if self._tenant_accounts else {}),
             }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

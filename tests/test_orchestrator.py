@@ -13,6 +13,7 @@ the ``bench_*.py`` files.
 
 import json
 import pathlib
+import threading
 import time
 from types import SimpleNamespace
 
@@ -30,7 +31,7 @@ from repro.bench.orchestrator import run_matrix
 from repro.bench.report import emit_result_json, result_payload
 from repro.bench.trajectory import validate_bench_file
 from repro.cli import main
-from repro.errors import ValidationError
+from repro.errors import RunCancelledError, ValidationError
 
 REPO_ROOT = pathlib.Path(__file__).parent.parent
 SMOKE_CONFIG = REPO_ROOT / "benchmarks" / "matrix_smoke.toml"
@@ -334,7 +335,7 @@ class TestFailureIsolation:
 
     def test_crash_in_trial_body_marks_cell_failed(self, tmp_path,
                                                    monkeypatch):
-        def boom(spec, config):
+        def boom(spec, config, cancel=None):
             raise RuntimeError("synthetic crash")
 
         monkeypatch.setattr(orchestrator, "_trial_body", boom)
@@ -346,7 +347,7 @@ class TestFailureIsolation:
         assert "synthetic crash" in entry["error"]
 
     def test_hung_trial_trips_the_timeout(self, tmp_path, monkeypatch):
-        def hang(spec, config):
+        def hang(spec, config, cancel=None):
             time.sleep(2.0)
 
         monkeypatch.setattr(orchestrator, "_trial_body", hang)
@@ -359,6 +360,44 @@ class TestFailureIsolation:
         entry = next(iter(payload["data"]["trials"].values()))
         assert entry["status"] == "timeout"
         assert "exceeded" in entry["error"]
+
+    def test_timed_out_trial_stops_emitting(self, monkeypatch):
+        """The cooperative cancel reaches a timed-out body: it stops at
+        the next node boundary instead of running to completion in the
+        abandoned thread (the pre-fix behavior kept emitting per-node
+        records for the rest of the matrix's lifetime)."""
+        emitted: list[int] = []
+        unwound = threading.Event()
+
+        def slow_trial(cancel):
+            for node in range(1000):
+                if cancel.is_set():  # what ExecutionBackend.run does
+                    unwound.set()
+                    raise RunCancelledError("cancelled", node_id=str(node))
+                emitted.append(node)
+                time.sleep(0.01)
+
+        monkeypatch.setattr(orchestrator, "_CANCEL_GRACE_S", 2.0)
+        with pytest.raises(orchestrator.TrialTimeout):
+            orchestrator._run_with_timeout(slow_trial, timeout=0.15)
+        assert unwound.wait(2.0), "body never observed the cancel event"
+        count = len(emitted)
+        time.sleep(0.2)  # the pre-fix thread would still be appending
+        assert len(emitted) == count
+
+    def test_cancel_event_stops_a_real_backend_run(self):
+        """End-to-end: a Controller built with a pre-set cancel event
+        raises RunCancelledError before executing any node, leaving the
+        trial's trace unemitted — the path _run_with_timeout drives."""
+        from repro.engine.controller import Controller
+        from repro.workloads.five_workloads import build_workload
+
+        cancel = threading.Event()
+        cancel.set()
+        graph = build_workload("io1", scale_gb=1.0)
+        controller = Controller(cancel=cancel)
+        with pytest.raises(RunCancelledError):
+            controller.refresh(graph, graph.total_size(), method="sc")
 
 
 # ----------------------------------------------------------------------
@@ -393,7 +432,7 @@ class TestResume:
                          date="2026-01-01")
         assert run.complete
 
-        def untouchable(spec, config):
+        def untouchable(spec, config, cancel=None):
             raise AssertionError("a completed cell was re-executed")
 
         monkeypatch.setattr(orchestrator, "_trial_body", untouchable)

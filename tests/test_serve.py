@@ -1,0 +1,343 @@
+"""Service layer (repro.serve): multi-tenant concurrent refreshes.
+
+Deterministic tier-1 coverage of the serve layer's contracts — tenant
+validation, priority dispatch, open-loop backpressure, cooperative
+cancellation/deadlines with clean ledger unwind, the ``service``
+execution backend, and the Controller entry points.  The randomized
+concurrency fuzz (many requests x random cancellations x checked
+ledger) lives in ``tests/test_invariants_random.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.engine.controller import Controller
+from repro.errors import (
+    RunCancelledError,
+    ServiceOverloadError,
+    ValidationError,
+)
+from repro.serve import RefreshService, ServiceConfig, TenantSpec
+from repro.serve.service import percentile
+from repro.store.config import SpillConfig, TierSpec
+from repro.workloads.five_workloads import build_workload
+
+_SPILL = SpillConfig(tiers=(TierSpec("disk"),))
+
+
+def _case(scale_gb: float = 20.0, ram_fraction: float = 0.25,
+          workload: str = "io1"):
+    graph = build_workload(workload, scale_gb=scale_gb)
+    budget = ram_fraction * graph.total_size()
+    plan = Controller().plan(graph, budget, method="sc", seed=0)
+    return graph, plan, budget
+
+
+def _config(budget: float, **overrides) -> ServiceConfig:
+    defaults = dict(ram_budget_gb=budget, spill=_SPILL,
+                    time_scale=1e-4, max_concurrent=4)
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def _assert_clean(service: RefreshService) -> None:
+    violations = service.audit()
+    assert all(not value for value in violations.values()), violations
+
+
+# ----------------------------------------------------------------------
+# construction / validation
+# ----------------------------------------------------------------------
+
+def test_tenant_shares_must_partition_the_budget():
+    config = _config(4.0)
+    with pytest.raises(ValidationError):
+        RefreshService(config, [TenantSpec("a", 0.7),
+                                TenantSpec("b", 0.7)])
+    with pytest.raises(ValidationError):
+        RefreshService(config, [TenantSpec("a", 0.0)])
+    with pytest.raises(ValidationError):
+        RefreshService(config, [])
+    with pytest.raises(ValidationError):
+        RefreshService(config, [TenantSpec("a", 0.4),
+                                TenantSpec("a", 0.4)])
+
+
+def test_tenant_shares_register_on_the_shared_ledger():
+    service = RefreshService(_config(8.0), [TenantSpec("a", 0.75),
+                                            TenantSpec("b", 0.25)])
+    assert sorted(service.ledger.tenant_names()) == ["a", "b"]
+    assert service.ledger.tenant_available("a") == pytest.approx(6.0)
+    assert service.ledger.tenant_available("b") == pytest.approx(2.0)
+
+
+def test_submit_rejects_unknown_tenant():
+    graph, plan, budget = _case()
+
+    async def main():
+        async with RefreshService(_config(budget),
+                                  [TenantSpec("a", 1.0)]) as svc:
+            with pytest.raises(ValidationError):
+                await svc.submit(graph, plan, tenant="nobody")
+
+    asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# happy path
+# ----------------------------------------------------------------------
+
+def test_concurrent_requests_share_one_ledger_cleanly():
+    graph, plan, budget = _case()
+
+    async def main():
+        service = RefreshService(
+            _config(budget), [TenantSpec("a", 0.5, priority=1),
+                              TenantSpec("b", 0.5)])
+        async with service as svc:
+            handles = [await svc.submit(graph, plan,
+                                        tenant="ab"[i % 2])
+                       for i in range(6)]
+            results = [await handle for handle in handles]
+        return service, results
+
+    service, results = asyncio.run(main())
+    assert [r.status for r in results] == ["ok"] * 6
+    assert {r.tenant for r in results} == {"a", "b"}
+    for result in results:
+        assert result.trace is not None
+        assert result.trace.extras["service"]["tenant"] == result.tenant
+        assert result.latency_s > 0
+        assert result.queue_wait_s is not None
+    _assert_clean(service)
+    latencies = service.latencies_by_tenant()
+    assert len(latencies["a"]) == 3 and len(latencies["b"]) == 3
+
+
+def test_plan_none_runs_in_topological_order_nothing_flagged():
+    graph, _, budget = _case()
+
+    async def main():
+        service = RefreshService(_config(budget), [TenantSpec("a", 1.0)])
+        async with service as svc:
+            result = await (await svc.submit(graph, None, tenant="a"))
+        return service, result
+
+    service, result = asyncio.run(main())
+    assert result.status == "ok"
+    assert not any(trace.flagged for trace in result.trace.nodes)
+    _assert_clean(service)
+
+
+def test_higher_priority_tenant_dispatches_first():
+    graph, plan, budget = _case()
+
+    async def main():
+        service = RefreshService(
+            _config(budget, max_concurrent=1),
+            [TenantSpec("low", 0.5, priority=0),
+             TenantSpec("high", 0.5, priority=9)])
+        async with service as svc:
+            first = await svc.submit(graph, plan, tenant="low")
+            # both queued while `first` occupies the only slot:
+            # the high-priority tenant must overtake FIFO order
+            second = await svc.submit(graph, plan, tenant="low")
+            third = await svc.submit(graph, plan, tenant="high")
+            results = [await h for h in (first, second, third)]
+        return service, {r.request_id: r for r in results}
+
+    service, by_id = asyncio.run(main())
+    assert all(r.status == "ok" for r in by_id.values())
+    assert by_id["r2"].started_s < by_id["r1"].started_s
+    _assert_clean(service)
+
+
+# ----------------------------------------------------------------------
+# backpressure
+# ----------------------------------------------------------------------
+
+def test_full_queue_rejects_with_overload_error():
+    graph, plan, budget = _case()
+
+    async def main():
+        service = RefreshService(
+            _config(budget, max_concurrent=1, queue_limit=2),
+            [TenantSpec("a", 1.0)])
+        async with service as svc:
+            # back-to-back submissions never yield to the dispatcher,
+            # so both sit in the pending queue and the third submission
+            # must bounce off the queue_limit
+            handles = [await svc.submit(graph, plan, tenant="a"),
+                       await svc.submit(graph, plan, tenant="a")]
+            with pytest.raises(ServiceOverloadError):
+                await svc.submit(graph, plan, tenant="a")
+            results = [await handle for handle in handles]
+        return service, results
+
+    service, results = asyncio.run(main())
+    assert [r.status for r in results] == ["ok"] * 2
+    _assert_clean(service)
+
+
+# ----------------------------------------------------------------------
+# cancellation / deadlines: clean unwind of the shared ledger
+# ----------------------------------------------------------------------
+
+def test_cancelled_request_unwinds_without_leaks():
+    # a big spilling workload cancelled mid-flight must leave zero
+    # residue: no holds, no reservations, no consumer counts
+    graph, plan, budget = _case(scale_gb=50.0, workload="io2")
+
+    async def main():
+        service = RefreshService(_config(budget, time_scale=1e-3),
+                                 [TenantSpec("a", 1.0)])
+        async with service as svc:
+            victim = await svc.submit(graph, plan, tenant="a")
+            survivor = await svc.submit(graph, plan, tenant="a")
+            await asyncio.sleep(0.01)  # let it reach mid-run
+            victim.cancel()
+            results = [await victim, await survivor]
+        return service, results
+
+    service, (cancelled, ok) = asyncio.run(main())
+    assert cancelled.status == "cancelled"
+    assert cancelled.trace is None
+    assert ok.status == "ok"  # the survivor is unaffected
+    _assert_clean(service)
+    assert service.ledger.resident() == []
+    assert service.ledger.tenant_usage("a") == pytest.approx(0.0, abs=1e-9)
+
+
+def test_deadline_expires_as_timeout_and_unwinds():
+    graph, plan, budget = _case(scale_gb=50.0, workload="io2")
+
+    async def main():
+        service = RefreshService(_config(budget, time_scale=1e-3),
+                                 [TenantSpec("a", 1.0)])
+        async with service as svc:
+            handle = await svc.submit(graph, plan, tenant="a",
+                                      deadline_s=0.02)
+            return service, await handle
+
+    service, result = asyncio.run(main())
+    assert result.status == "timeout"
+    assert "deadline" in result.error
+    _assert_clean(service)
+
+
+def test_caller_supplied_cancel_event_is_honored():
+    graph, plan, budget = _case()
+    cancel = threading.Event()
+    cancel.set()  # cancelled before the first node boundary
+
+    async def main():
+        service = RefreshService(_config(budget), [TenantSpec("a", 1.0)])
+        async with service as svc:
+            handle = await svc.submit(graph, plan, tenant="a",
+                                      cancel=cancel)
+            return service, await handle
+
+    service, result = asyncio.run(main())
+    assert result.status == "cancelled"
+    _assert_clean(service)
+
+
+# ----------------------------------------------------------------------
+# tenant isolation
+# ----------------------------------------------------------------------
+
+def test_tenant_share_is_enforced_by_shedding_own_entries():
+    # share enforcement is admission-granular: before every flagged
+    # admission the request sheds its own tenant's RAM entries until
+    # the output fits its share, so a tenant's peak can exceed its
+    # slice by at most one entry (a promote or an over-share output),
+    # never by unbounded accumulation
+    graph, plan, budget = _case(scale_gb=50.0, workload="io2",
+                                ram_fraction=0.5)
+    largest = max(graph.size_of(node) for node in graph.nodes())
+
+    async def main():
+        service = RefreshService(
+            _config(budget), [TenantSpec("a", 0.5), TenantSpec("b", 0.5)])
+        async with service as svc:
+            handles = [await svc.submit(graph, plan, tenant="ab"[i % 2])
+                       for i in range(4)]
+            results = [await handle for handle in handles]
+        return service, results
+
+    service, results = asyncio.run(main())
+    assert all(r.status == "ok" for r in results)
+    report = service.ledger.tier_report()
+    for name in ("a", "b"):
+        tenant = report["tenants"][name]
+        assert tenant["peak"] > 0  # both tenants actually used RAM
+        assert tenant["peak"] <= tenant["budget"] + largest + 1e-6, (
+            f"tenant {name} peak {tenant['peak']} burst more than one "
+            f"entry past its share {tenant['budget']}")
+    _assert_clean(service)
+
+
+# ----------------------------------------------------------------------
+# the `service` execution backend + Controller entry points
+# ----------------------------------------------------------------------
+
+def test_service_backend_runs_one_refresh_via_controller():
+    graph, plan, budget = _case()
+    controller = Controller(spill=_SPILL)
+    trace = controller.refresh(graph, budget, method="sc", seed=0,
+                               plan=plan, backend="service")
+    assert trace.method == "sc"
+    assert trace.extras["service"]["tenant"] == "solo"
+    assert len(trace.nodes) == len(plan.order)
+
+
+def test_service_backend_honors_controller_cancel():
+    graph, plan, budget = _case()
+    cancel = threading.Event()
+    cancel.set()
+    controller = Controller(spill=_SPILL, cancel=cancel)
+    with pytest.raises(RunCancelledError):
+        controller.refresh(graph, budget, method="sc", seed=0,
+                           plan=plan, backend="service")
+
+
+def test_refresh_concurrent_convenience_wrapper():
+    graph, plan, budget = _case()
+    controller = Controller(spill=_SPILL)
+    requests = [(graph, plan, "a"), (graph, plan, "b"),
+                (graph, None, "a")]
+    results, service = controller.refresh_concurrent(
+        requests, budget,
+        [TenantSpec("a", 0.5, priority=1), TenantSpec("b", 0.5)],
+        time_scale=1e-4)
+    assert [r.status for r in results] == ["ok"] * 3
+    assert [r.tenant for r in results] == ["a", "b", "a"]
+    _assert_clean(service)
+
+
+# ----------------------------------------------------------------------
+# cli + helpers
+# ----------------------------------------------------------------------
+
+def test_cli_serve_smoke_exits_zero(capsys):
+    from repro.cli import main
+
+    status = main(["serve", "--requests", "6", "--tenants", "2",
+                   "--scale-gb", "10", "--time-scale", "1e-4"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "audit: clean" in out
+    assert "tenant-0" in out and "tenant-1" in out
+
+
+def test_percentile_is_nearest_rank():
+    values = [5.0, 1.0, 3.0, 2.0, 4.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 50) == 3.0
+    assert percentile(values, 100) == 5.0
+    with pytest.raises(ValidationError):
+        percentile([], 50)
